@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper's evaluation
+(Section 7).  The benchmarks share a single :class:`ExperimentContext` so
+the one-time calibration cost is paid once per session, exactly as in the
+paper's methodology.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.calibration import CalibrationSettings  # noqa: E402
+from repro.experiments.harness import ExperimentContext  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """The shared experiment context (machine + calibrated engines)."""
+    return ExperimentContext(
+        calibration_settings=CalibrationSettings(
+            cpu_shares=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+        )
+    )
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run a scenario exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,36 @@
+"""Figure 2 — the motivating example.
+
+One PostgreSQL VM runs TPC-H Q17 and one DB2 VM runs TPC-H Q18 on a 10 GB
+database.  The advisor shifts CPU and memory toward the CPU-intensive DB2
+workload: the PostgreSQL workload degrades slightly, the DB2 workload
+improves substantially, and the overall improvement is positive (the paper
+reports 7% degradation, 55% improvement, and 24% overall).
+"""
+
+from conftest import run_once
+
+from repro.experiments.calibration_figures import motivating_example
+from repro.experiments.reporting import format_table
+
+
+def test_fig02_motivating_example(benchmark, context):
+    result = run_once(benchmark, motivating_example, context, 10.0)
+
+    rows = [
+        ["postgresql-q17 (I/O bound)", result.default_times[0],
+         result.recommended_times[0], result.postgres_change],
+        ["db2-q18 (CPU bound)", result.default_times[1],
+         result.recommended_times[1], result.db2_change],
+    ]
+    print("\nFigure 2 — motivating example (simulated seconds)")
+    print(format_table(
+        ["workload", "default 50/50", "recommended", "relative change"], rows
+    ))
+    print(f"recommended allocations: "
+          f"{[(round(a.cpu_share, 2), round(a.memory_fraction, 2)) for a in result.recommended_allocations]}")
+    print(f"overall improvement: {result.overall_improvement:.3f}")
+
+    # Qualitative shape of Figure 2.
+    assert result.db2_change > 0.2                      # DB2 improves a lot
+    assert result.db2_change > result.postgres_change   # PG loses (a little)
+    assert result.overall_improvement > 0.1             # net win

@@ -1,0 +1,51 @@
+"""Figures 5-8 — behaviour of the calibrated optimizer parameters.
+
+CPU-related parameters (PostgreSQL ``cpu_tuple_cost``, DB2 ``cpuspeed``)
+vary linearly with 1/(CPU share) and are essentially independent of the
+memory allocation; I/O-related parameters (``random_page_cost``,
+``transfer_rate``) are independent of both, which is what lets the paper
+calibrate each resource's parameters separately (Section 4.4).
+"""
+
+from conftest import run_once
+
+from repro.experiments.calibration_figures import (
+    db2_parameter_sweep,
+    postgresql_parameter_sweep,
+)
+from repro.experiments.reporting import format_table
+
+
+def _print_sweep(title, sweep):
+    rows = list(zip(sweep.inverse_cpu_shares, sweep.at_half_memory,
+                    sweep.averaged_over_memory))
+    print(f"\n{title}")
+    print(format_table(
+        ["1/cpu share", "at 50% memory", "avg over 20%-80% memory"], rows,
+        float_format="{:.6g}",
+    ))
+    print(f"linear-fit R^2 at 50% memory: {sweep.regression_r2:.4f}; "
+          f"max relative deviation across memory: {sweep.memory_relative_spread:.4f}")
+
+
+def test_fig05_07_postgresql_parameters(benchmark, context):
+    results = run_once(benchmark, postgresql_parameter_sweep, context)
+    _print_sweep("Figure 5 — PostgreSQL cpu_tuple_cost", results["cpu_tuple_cost"])
+    _print_sweep("Figure 7 — PostgreSQL random_page_cost", results["random_page_cost"])
+
+    assert results["cpu_tuple_cost"].regression_r2 > 0.99
+    assert results["cpu_tuple_cost"].memory_relative_spread < 0.10
+    assert results["random_page_cost"].memory_relative_spread < 0.10
+
+
+def test_fig06_08_db2_parameters(benchmark, context):
+    results = run_once(benchmark, db2_parameter_sweep, context)
+    _print_sweep("Figure 6 — DB2 cpuspeed", results["cpuspeed"])
+    _print_sweep("Figure 8 — DB2 transfer_rate", results["transfer_rate"])
+
+    cpuspeed = results["cpuspeed"]
+    assert cpuspeed.regression_r2 > 0.99
+    assert cpuspeed.memory_relative_spread < 0.05
+    # The I/O parameter is flat across CPU allocations.
+    transfer = results["transfer_rate"]
+    assert max(transfer.at_half_memory) - min(transfer.at_half_memory) < 1e-9

@@ -1,0 +1,67 @@
+"""Figures 9-10 — shape of the objective function.
+
+The total estimated cost of two consolidated workloads, as a function of the
+CPU and memory share given to the first workload, is smooth and free of
+spurious local minima — the property that lets the paper use greedy search.
+Figure 9 pairs a CPU-intensive workload with a non-CPU-intensive one;
+Figure 10 pairs two CPU-intensive workloads.
+"""
+
+from conftest import run_once
+
+from repro.experiments.calibration_figures import objective_surface
+from repro.experiments.reporting import format_table
+from repro.workloads.units import mixed_cpu_workload
+
+GRID = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def _print_surface(title, surface):
+    headers = ["cpu\\mem"] + [f"{m:.1f}" for m in surface.memory_fractions]
+    rows = []
+    for i, cpu in enumerate(surface.cpu_shares):
+        rows.append([f"{cpu:.1f}"] + [surface.total_costs[i][j]
+                                      for j in range(len(surface.memory_fractions))])
+    print(f"\n{title} (total estimated seconds; axes = share given to W1)")
+    print(format_table(headers, rows, float_format="{:.0f}"))
+
+
+def _axis_is_single_valley(values):
+    """True when the series decreases to a minimum then increases (or is monotone)."""
+    direction_changes = 0
+    previous_sign = 0
+    for earlier, later in zip(values, values[1:]):
+        sign = 0 if later == earlier else (1 if later > earlier else -1)
+        if sign != 0 and previous_sign != 0 and sign != previous_sign:
+            direction_changes += 1
+        if sign != 0:
+            previous_sign = sign
+    return direction_changes <= 1
+
+
+def test_fig09_not_competing_for_cpu(benchmark, context):
+    queries = context.queries("db2", "tpch", 1.0)
+    first = mixed_cpu_workload("cpu-heavy", queries, "db2", 8, 2)
+    second = mixed_cpu_workload("io-heavy", queries, "db2", 0, 8)
+    surface = run_once(benchmark, objective_surface, context, first, second,
+                       "db2", 1.0, GRID)
+    _print_surface("Figure 9 — one CPU-intensive and one I/O-intensive workload",
+                   surface)
+    cpu_opt, _, _ = surface.minimum()
+    assert cpu_opt >= 0.5  # the CPU-intensive workload gets most of the CPU
+    for j in range(len(GRID)):
+        assert _axis_is_single_valley(surface.cpu_slice(j))
+
+
+def test_fig10_competing_for_cpu(benchmark, context):
+    queries = context.queries("db2", "tpch", 1.0)
+    first = mixed_cpu_workload("cpu-a", queries, "db2", 6, 1)
+    second = mixed_cpu_workload("cpu-b", queries, "db2", 6, 1)
+    surface = run_once(benchmark, objective_surface, context, first, second,
+                       "db2", 1.0, GRID)
+    _print_surface("Figure 10 — two CPU-intensive workloads", surface)
+    cpu_opt, _, _ = surface.minimum()
+    # Identical workloads: the balanced split is (close to) optimal.
+    assert abs(cpu_opt - 0.5) <= 0.1
+    for j in range(len(GRID)):
+        assert _axis_is_single_valley(surface.cpu_slice(j))

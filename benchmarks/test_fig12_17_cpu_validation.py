@@ -1,0 +1,73 @@
+"""Figures 12-17 — controlled CPU-allocation validation experiments.
+
+Workloads are built from the CPU-intensive unit ``C`` (instances of TPC-H
+Q18) and the non-CPU-intensive unit ``I`` (TPC-H Q21):
+
+* Figures 12-13: W1 = 5C+5I vs W2 = kC+(10-k)I — as W2 becomes more CPU
+  intensive it receives more CPU; the improvement is smallest where the two
+  workloads are similar.
+* Figures 14-15: W3 = 1C vs W4 = kC — the longer workload receives more CPU.
+* Figures 16-17: W5 = 1C vs W6 = kI — length alone does not attract CPU.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.validation import (
+    cpu_intensity_sweep,
+    size_and_intensity_sweep,
+    size_only_sweep,
+)
+
+KS_INTENSITY = tuple(range(0, 11))
+KS_SIZE = tuple(range(1, 11))
+
+
+def _print(result, label):
+    rows = [
+        [point.k, point.allocation_to_second_workload, point.estimated_improvement]
+        for point in result.points
+    ]
+    print(f"\n{label} ({result.engine})")
+    print(format_table(["k", "CPU share of W2", "estimated improvement"], rows))
+
+
+@pytest.mark.parametrize("engine", ["db2", "postgresql"])
+def test_fig12_13_varying_cpu_intensity(benchmark, context, engine):
+    result = run_once(benchmark, cpu_intensity_sweep, context, engine, KS_INTENSITY)
+    _print(result, "Figures 12-13 — varying CPU intensity")
+    allocations = result.allocations()
+    improvements = result.improvements()
+    # W2's CPU share is non-decreasing in k and crosses 50% around k=5.
+    assert all(b >= a - 1e-9 for a, b in zip(allocations, allocations[1:]))
+    assert allocations[0] < 0.5 < allocations[-1] + 1e-9
+    assert abs(allocations[5] - 0.5) <= 0.05
+    # Improvement is high at the extremes and ~0 when the workloads match.
+    assert improvements[5] == pytest.approx(0.0, abs=0.01)
+    assert improvements[0] > improvements[5]
+    assert improvements[10] >= improvements[5]
+    assert all(i >= -1e-9 for i in improvements)
+
+
+@pytest.mark.parametrize("engine", ["db2", "postgresql"])
+def test_fig14_15_varying_size_and_intensity(benchmark, context, engine):
+    result = run_once(benchmark, size_and_intensity_sweep, context, engine, KS_SIZE)
+    _print(result, "Figures 14-15 — varying workload size and resource intensity")
+    allocations = result.allocations()
+    assert allocations[0] == pytest.approx(0.5, abs=0.01)  # equal workloads
+    assert all(b >= a - 1e-9 for a, b in zip(allocations, allocations[1:]))
+    assert allocations[-1] > 0.65
+    # Larger differences in demand leave more room for improvement than in
+    # the intensity-only experiment (the paper makes the same observation).
+    assert max(result.improvements()) > 0.05
+
+
+@pytest.mark.parametrize("engine", ["db2", "postgresql"])
+def test_fig16_17_varying_size_only(benchmark, context, engine):
+    result = run_once(benchmark, size_only_sweep, context, engine, KS_SIZE)
+    _print(result, "Figures 16-17 — varying workload size but not intensity")
+    allocations = result.allocations()
+    # W6 must be several times longer than W5 before it gets an equal share.
+    assert allocations[2] < 0.5
+    assert allocations[-1] <= 0.65

@@ -1,0 +1,34 @@
+"""Figure 18 — sensitivity to workload memory needs.
+
+Workloads are built from the memory-intensive unit ``B`` (TPC-H Q7) and the
+memory-non-intensive unit ``D`` (150 instances of TPC-H Q16) on the 10 GB
+DB2 database.  As W8 = kB + (10-k)D becomes more memory intensive it
+receives more of the memory; the improvement over the default allocation is
+small but positive except where the workloads match.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.validation import memory_intensity_sweep
+
+
+def test_fig18_varying_memory_intensity(benchmark, context):
+    result = run_once(benchmark, memory_intensity_sweep, context, tuple(range(0, 11)))
+
+    rows = [
+        [point.k, point.allocation_to_second_workload, point.estimated_improvement]
+        for point in result.points
+    ]
+    print("\nFigure 18 — varying memory intensity (DB2, 10GB TPC-H)")
+    print(format_table(["k", "memory share of W8", "estimated improvement"], rows))
+
+    allocations = result.allocations()
+    improvements = result.improvements()
+    # W8 receives more memory as it becomes more memory intensive.
+    assert allocations[0] < allocations[5] <= allocations[-1] + 1e-9
+    assert allocations[0] < 0.5 < allocations[-1]
+    # When both workloads are alike the default allocation is (near) optimal.
+    assert improvements[5] == pytest.approx(0.0, abs=0.02)
+    assert all(improvement >= -1e-9 for improvement in improvements)

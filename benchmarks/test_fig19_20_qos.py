@@ -1,0 +1,69 @@
+"""Figures 19-20 — QoS support: degradation limits and benefit gain factors.
+
+Five identical CPU-bound workloads share the machine.
+
+* Figure 19: W9's degradation limit is swept from 1.5 to 4.5 while W10's is
+  fixed at 2.5.  The advisor meets both limits whenever that is feasible
+  (L9 = 1.5 is not), at the cost of higher degradation for the unconstrained
+  workloads.
+* Figure 20: W9's benefit gain factor is swept from 1 to 10 while W10's is
+  4.  Once G9 exceeds G10, W9 receives the largest CPU share.
+"""
+
+from conftest import run_once
+
+from repro.experiments.reporting import format_table
+from repro.experiments.validation import degradation_limit_sweep, gain_factor_sweep
+
+LIMITS = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5)
+GAINS = tuple(float(g) for g in range(1, 11))
+
+
+def test_fig19_degradation_limits(benchmark, context):
+    result = run_once(benchmark, degradation_limit_sweep, context, LIMITS)
+
+    rows = [
+        [point.limit] + list(point.degradations) + [point.limit_met]
+        for point in result.points
+    ]
+    print("\nFigure 19 — effect of W9's degradation limit (L10 = 2.5)")
+    print(format_table(
+        ["L9", "deg W9", "deg W10", "deg W11", "deg W12", "deg W13", "L9 met"], rows
+    ))
+
+    by_limit = {point.limit: point for point in result.points}
+    # Loose limits are met; both constrained workloads stay within bounds.
+    for limit in (2.5, 3.0, 3.5, 4.0, 4.5):
+        point = by_limit[limit]
+        assert point.limit_met
+        assert point.degradations[1] <= result.constrained_second_limit + 1e-6
+        # The unconstrained workloads absorb the cost.
+        assert max(point.degradations[2:]) >= point.degradations[0] - 1e-6
+    # At the tightest setting the advisor cannot satisfy every constraint
+    # simultaneously (the paper observes the same at L9 = 1.5).
+    tightest = by_limit[1.5]
+    assert not (
+        tightest.limit_met
+        and tightest.degradations[1] <= result.constrained_second_limit + 1e-6
+    )
+
+
+def test_fig20_benefit_gain_factors(benchmark, context):
+    result = run_once(benchmark, gain_factor_sweep, context, GAINS)
+
+    rows = [[point.gain] + list(point.cpu_shares) for point in result.points]
+    print("\nFigure 20 — effect of W9's benefit gain factor (G10 = 4)")
+    print(format_table(["G9", "cpu W9", "cpu W10", "cpu W11", "cpu W12", "cpu W13"],
+                       rows))
+
+    by_gain = {point.gain: point for point in result.points}
+    # With a low gain factor, the high-priority W10 dominates.
+    assert by_gain[1.0].cpu_shares[1] >= max(by_gain[1.0].cpu_shares) - 1e-9
+    # Raising G9 eventually makes W9 the largest recipient of CPU.
+    assert by_gain[10.0].cpu_shares[0] >= max(by_gain[10.0].cpu_shares) - 1e-9
+    # W9's share is non-decreasing in its gain factor.
+    shares = result.first_workload_shares()
+    assert all(b >= a - 1e-9 for a, b in zip(shares, shares[1:]))
+    # The unconstrained, equal-priority workloads share the rest evenly.
+    tail = by_gain[10.0].cpu_shares[2:]
+    assert max(tail) - min(tail) <= 0.101

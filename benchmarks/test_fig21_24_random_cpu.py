@@ -1,0 +1,55 @@
+"""Figures 21 and 24 — CPU allocation for random PostgreSQL TPC-H workloads.
+
+Ten random workloads (mixes of Q17 and a lighter Q18 variant on the 10 GB
+database) are consolidated two at a time up to ten at a time.  The advisor
+tracks each workload's nature as new workloads arrive (Figure 21) and its
+recommendations achieve close to the optimal actual improvement found by
+exhaustive search (Figure 24).
+"""
+
+from conftest import run_once
+
+from repro.experiments.random_workloads import postgresql_tpch_cpu_experiment
+from repro.experiments.reporting import format_table
+
+WORKLOAD_COUNTS = tuple(range(2, 11))
+
+
+def test_fig21_24_random_postgresql_workloads(benchmark, context):
+    result = run_once(
+        benchmark, postgresql_tpch_cpu_experiment, context, WORKLOAD_COUNTS
+    )
+
+    print("\nFigure 21 — CPU share per workload as workloads are added (PostgreSQL)")
+    headers = ["N"] + [t.workload for t in result.trajectories]
+    rows = []
+    for position, count in enumerate(result.workload_counts):
+        row = [count]
+        for trajectory in result.trajectories:
+            if position < len(trajectory.cpu_shares):
+                row.append(trajectory.cpu_shares[position])
+            else:
+                row.append(float("nan"))
+        rows.append(row)
+    print(format_table(headers, rows, float_format="{:.2f}"))
+
+    print("\nFigure 24 — actual improvement over the default allocation")
+    print(format_table(
+        ["N", "advisor", "optimal (exhaustive)"],
+        list(zip(result.workload_counts, result.advisor_improvements,
+                 result.optimal_improvements)),
+    ))
+
+    # Every workload ends with (at most) the share it had when introduced —
+    # adding competitors never durably increases anyone's share — and
+    # period-to-period wobble stays within one or two greedy steps.
+    for trajectory in result.trajectories:
+        shares = trajectory.cpu_shares
+        assert shares[-1] <= shares[0] + 1e-9
+        assert all(later <= earlier + 0.06 for earlier, later in zip(shares, shares[1:]))
+    # The advisor's actual improvement tracks the optimal one closely
+    # (Figure 24: near-optimal allocations).
+    for advisor, optimal in zip(result.advisor_improvements,
+                                result.optimal_improvements):
+        assert advisor >= optimal - 0.05
+        assert advisor >= -0.05

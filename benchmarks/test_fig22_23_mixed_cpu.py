@@ -1,0 +1,52 @@
+"""Figures 22-23 — CPU allocation for mixed TPC-C + TPC-H workloads.
+
+Five TPC-C workloads and five TPC-H workloads are consolidated, on DB2
+(Figure 22) and PostgreSQL (Figure 23).  The advisor identifies the nature
+of each new workload as it is introduced and keeps the relative order of the
+CPU allocations stable.  (The actual performance of these recommendations —
+poor before online refinement because the optimizer underestimates the OLTP
+CPU needs — is the subject of Figures 28-31.)
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.experiments.random_workloads import mixed_tpcc_tpch_cpu_experiment
+from repro.experiments.reporting import format_table
+
+WORKLOAD_COUNTS = tuple(range(2, 11))
+
+
+@pytest.mark.parametrize("engine", ["db2", "postgresql"])
+def test_fig22_23_mixed_tpcc_tpch_allocations(benchmark, context, engine):
+    result = run_once(
+        benchmark, mixed_tpcc_tpch_cpu_experiment, context, engine, WORKLOAD_COUNTS
+    )
+
+    figure = "Figure 22" if engine == "db2" else "Figure 23"
+    print(f"\n{figure} — CPU share per workload as workloads are added ({engine})")
+    headers = ["N"] + [t.workload for t in result.trajectories]
+    rows = []
+    for position, count in enumerate(result.workload_counts):
+        row = [count]
+        for trajectory in result.trajectories:
+            row.append(trajectory.cpu_shares[position]
+                       if position < len(trajectory.cpu_shares) else float("nan"))
+        rows.append(row)
+    print(format_table(headers, rows, float_format="{:.2f}"))
+
+    # A workload ends with (at most) the share it had when introduced, and
+    # period-to-period wobble stays within one or two greedy steps.
+    for trajectory in result.trajectories:
+        shares = trajectory.cpu_shares
+        assert shares[-1] <= shares[0] + 1e-9
+        assert all(later <= earlier + 0.06 for earlier, later in zip(shares, shares[1:]))
+    # The DSS (TPC-H) workloads are seen as more CPU-intensive than the OLTP
+    # (TPC-C) workloads, so with all ten consolidated they hold most of the CPU.
+    final_tpch = sum(
+        t.cpu_shares[-1] for t in result.trajectories if t.workload.startswith("tpch")
+    )
+    final_tpcc = sum(
+        t.cpu_shares[-1] for t in result.trajectories if t.workload.startswith("tpcc")
+    )
+    assert final_tpch > final_tpcc

@@ -1,0 +1,64 @@
+"""Figures 35-36 — dynamic configuration management.
+
+A TPC-H and a TPC-C workload (both DB2) are monitored for nine 30-minute
+periods.  The TPC-H workload grows by one unit every period (a minor,
+intensity-only change); in periods 3 and 7 the two workloads switch virtual
+machines (a major change).  Dynamic configuration management detects the
+major changes, discards its refined cost models, and restores a good
+allocation within one period; the continuous-online-refinement baseline
+reacts more slowly.
+"""
+
+from conftest import run_once
+
+from repro.experiments.dynamic import dynamic_management_experiment
+from repro.experiments.reporting import format_table
+
+N_PERIODS = 9
+SWITCH_PERIODS = (3, 7)
+
+
+def test_fig35_36_dynamic_configuration_management(benchmark, context):
+    result = run_once(
+        benchmark, dynamic_management_experiment, context, N_PERIODS, SWITCH_PERIODS
+    )
+
+    print("\nFigure 35 — CPU share of VM1 per period "
+          "(VM1 hosts TPC-H until the workloads switch)")
+    rows = []
+    for managed, continuous in zip(result.managed_periods, result.continuous_periods):
+        rows.append([
+            managed.period,
+            "tpch" if managed.tpch_on_first_vm else "tpcc",
+            managed.cpu_share_first_vm,
+            continuous.cpu_share_first_vm,
+        ])
+    print(format_table(
+        ["period", "VM1 serves", "dynamic mgmt", "continuous refinement"], rows
+    ))
+
+    print("\nFigure 36 — actual improvement over the default allocation per period")
+    print(format_table(
+        ["period", "dynamic mgmt", "continuous refinement"],
+        [[m.period, m.improvement_over_default, c.improvement_over_default]
+         for m, c in zip(result.managed_periods, result.continuous_periods)],
+    ))
+
+    managed = result.managed_improvements()
+    continuous = result.continuous_improvements()
+    # Before the first switch both approaches do well.
+    assert managed[0] > 0 and managed[1] > 0
+    # The switches are detected as major changes by dynamic management.
+    switch_classes = result.managed_periods[SWITCH_PERIODS[0] - 1].change_classes
+    assert "major" in switch_classes
+    # The period of a switch is bad for everyone (the old allocation is in
+    # force while the workloads have swapped).
+    assert managed[SWITCH_PERIODS[0] - 1] < 0
+    # Dynamic management recovers in the period right after each switch ...
+    for switch in SWITCH_PERIODS:
+        if switch < N_PERIODS:
+            assert managed[switch] > 0
+            # ... and does at least as well as continuous refinement there.
+            assert managed[switch] >= continuous[switch] - 1e-6
+    # Across the whole run dynamic management is at least as good overall.
+    assert sum(managed) >= sum(continuous) - 1e-6

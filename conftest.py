@@ -1,0 +1,15 @@
+"""Pytest bootstrap.
+
+Ensures the ``src`` layout is importable even when the package has not been
+installed (useful on offline machines where editable installs are not
+available).  When ``repro`` is already installed, the installed package wins
+because ``sys.path`` insertion happens only on import failure.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (already installed)
+except ModuleNotFoundError:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(Path(__file__).parent / "src"))

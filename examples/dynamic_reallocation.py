@@ -1,0 +1,90 @@
+"""Dynamic configuration management: reacting to workload changes at run time.
+
+Two DB2 virtual machines share a physical server: one serves a reporting
+(TPC-H style) workload, the other an order-entry (TPC-C style) workload.
+Every 30-minute monitoring period the reporting workload grows a little; in
+period 3 the two workloads switch virtual machines (for example, because an
+application was migrated).
+
+The dynamic configuration manager of Section 6 classifies each change as
+minor or major by watching the average estimated cost per query.  Minor
+changes keep refining the existing cost models; major changes discard them
+and restart from the optimizer's estimates, which lets the advisor restore a
+good allocation within a single monitoring period.
+
+Run with::
+
+    python examples/dynamic_reallocation.py
+"""
+
+from repro import CalibrationSettings, DB2Engine, calibrate_engine
+from repro.core import ConsolidatedWorkload, VirtualizationDesignProblem
+from repro.core.dynamic import DynamicConfigurationManager
+from repro.core.problem import CPU
+from repro.virt import PhysicalMachine
+from repro.workloads import tpcc_database, tpcc_transactions, tpch_database, tpch_queries
+from repro.workloads.generator import tpcc_workload
+from repro.workloads.units import compose_workload, cpu_intensive_unit, cpu_nonintensive_unit
+
+N_PERIODS = 6
+SWITCH_PERIOD = 3
+FIXED_MEMORY_FRACTION = 512.0 / 8192.0
+
+
+def main() -> None:
+    machine = PhysicalMachine()
+    settings = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
+
+    dss_db = tpch_database(1.0)
+    dss_calibration = calibrate_engine(DB2Engine(dss_db), machine, settings)
+    dss_queries = tpch_queries(dss_db)
+    oltp_db = tpcc_database(10)
+    oltp_calibration = calibrate_engine(DB2Engine(oltp_db), machine, settings)
+
+    unit_c = cpu_intensive_unit(dss_queries, "db2")
+    unit_i = cpu_nonintensive_unit(dss_queries, "db2")
+    oltp_workload = tpcc_workload(
+        tpcc_transactions(oltp_db), "order-entry",
+        warehouses_accessed=8, clients_per_warehouse=10,
+    )
+
+    def dss_tenant(period):
+        units = 2.0 + period  # the reporting workload grows every period
+        workload = compose_workload(
+            f"reporting-p{period}", [(unit_c, units), (unit_i, units)]
+        )
+        return ConsolidatedWorkload(workload=workload, calibration=dss_calibration)
+
+    def oltp_tenant():
+        return ConsolidatedWorkload(workload=oltp_workload, calibration=oltp_calibration)
+
+    base_problem = VirtualizationDesignProblem(
+        tenants=(dss_tenant(0), oltp_tenant()),
+        resources=(CPU,),
+        fixed_memory_fraction=FIXED_MEMORY_FRACTION,
+    )
+    manager = DynamicConfigurationManager(base_problem)
+    initial = manager.initial_recommendation()
+    print("Initial recommendation:",
+          ", ".join(f"VM{i + 1} cpu={a.cpu_share:.0%}" for i, a in enumerate(initial)))
+    print()
+    print("period  VM1 serves   change        next allocation (VM1/VM2)")
+    print("------  -----------  ------------  --------------------------")
+
+    for period in range(1, N_PERIODS + 1):
+        dss_on_first = period < SWITCH_PERIOD
+        first = dss_tenant(period) if dss_on_first else oltp_tenant()
+        second = oltp_tenant() if dss_on_first else dss_tenant(period)
+        decision = manager.process_period((first, second))
+        print(f"{period:>6}  {'reporting' if dss_on_first else 'order-entry':<11}  "
+              f"{'/'.join(decision.change_classes):<12}  "
+              f"{decision.allocations[0].cpu_share:.0%} / "
+              f"{decision.allocations[1].cpu_share:.0%}")
+
+    print()
+    print("The switch in period", SWITCH_PERIOD,
+          "is detected as a major change and the CPU shares follow the workloads.")
+
+
+if __name__ == "__main__":
+    main()

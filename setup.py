@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that the package can also be installed in environments whose tooling cannot
+build PEP 660 editable wheels (e.g. offline machines without the ``wheel``
+package), via ``python setup.py develop`` or ``pip install -e .`` in
+compatibility mode.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,110 @@
+"""repro — reproduction of *Automatic Virtual Machine Configuration for
+Database Workloads* (Soror, Minhas, Aboulnaga, Salem, Kokosielis, Kamath;
+SIGMOD 2008).
+
+The package provides:
+
+* a simulated virtualization substrate (:mod:`repro.virt`),
+* PostgreSQL- and DB2-style database engine simulators (:mod:`repro.dbms`),
+* TPC-H and TPC-C style workload models (:mod:`repro.workloads`),
+* the query-optimizer calibration machinery (:mod:`repro.calibration`),
+* the virtualization design advisor — greedy configuration enumeration, QoS
+  constraints, online refinement, and dynamic configuration management
+  (:mod:`repro.core`), and
+* the experiment harness reproducing every figure of the paper's evaluation
+  (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro import quickstart_problem, VirtualizationDesignAdvisor
+
+    problem = quickstart_problem()
+    advisor = VirtualizationDesignAdvisor()
+    recommendation = advisor.recommend(problem)
+    for name, allocation in zip(problem.tenant_names(), recommendation.allocations):
+        print(name, allocation.cpu_share, allocation.memory_fraction)
+"""
+
+from __future__ import annotations
+
+from .calibration import CalibrationSettings, calibrate_engine
+from .core import (
+    ConsolidatedWorkload,
+    Recommendation,
+    ResourceAllocation,
+    UNLIMITED_DEGRADATION,
+    VirtualizationDesignAdvisor,
+    VirtualizationDesignProblem,
+    WhatIfCostEstimator,
+)
+from .core.cost_estimator import ActualCostFunction
+from .dbms.db2 import DB2Engine
+from .dbms.postgres import PostgreSQLEngine
+from .virt import Hypervisor, PhysicalMachine
+from .workloads import Workload, tpcc_database, tpcc_transactions, tpch_database, tpch_queries
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActualCostFunction",
+    "CalibrationSettings",
+    "ConsolidatedWorkload",
+    "DB2Engine",
+    "Hypervisor",
+    "PhysicalMachine",
+    "PostgreSQLEngine",
+    "Recommendation",
+    "ResourceAllocation",
+    "UNLIMITED_DEGRADATION",
+    "VirtualizationDesignAdvisor",
+    "VirtualizationDesignProblem",
+    "WhatIfCostEstimator",
+    "Workload",
+    "calibrate_engine",
+    "quickstart_problem",
+    "tpcc_database",
+    "tpcc_transactions",
+    "tpch_database",
+    "tpch_queries",
+    "__version__",
+]
+
+
+def quickstart_problem(scale_factor: float = 1.0) -> VirtualizationDesignProblem:
+    """Build a small two-workload consolidation problem ready for the advisor.
+
+    One PostgreSQL VM runs an I/O-bound workload (TPC-H Q17) and one DB2 VM
+    runs a CPU-bound workload (TPC-H Q18) — the paper's motivating example
+    in miniature.  Both engines are calibrated on a default physical
+    machine.
+    """
+    from .workloads.workload import Workload as _Workload
+    from .workloads.workload import WorkloadStatement
+
+    machine = PhysicalMachine()
+    settings = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
+
+    pg_database = tpch_database(scale_factor, name=f"tpch_pg_sf{scale_factor:g}")
+    pg_engine = PostgreSQLEngine(pg_database)
+    pg_calibration = calibrate_engine(pg_engine, machine, settings)
+    pg_queries = tpch_queries(pg_database)
+
+    db2_database = tpch_database(scale_factor, name=f"tpch_db2_sf{scale_factor:g}")
+    db2_engine = DB2Engine(db2_database)
+    db2_calibration = calibrate_engine(db2_engine, machine, settings)
+    db2_queries = tpch_queries(db2_database)
+
+    pg_workload = _Workload(
+        name="postgresql-io-bound",
+        statements=(WorkloadStatement(query=pg_queries["q17"], frequency=1.0),),
+    )
+    db2_workload = _Workload(
+        name="db2-cpu-bound",
+        statements=(WorkloadStatement(query=db2_queries["q18"], frequency=1.0),),
+    )
+    return VirtualizationDesignProblem(
+        tenants=(
+            ConsolidatedWorkload(workload=pg_workload, calibration=pg_calibration),
+            ConsolidatedWorkload(workload=db2_workload, calibration=db2_calibration),
+        ),
+    )

@@ -1,0 +1,38 @@
+"""Query-optimizer calibration (Section 4 of the paper).
+
+Calibration is the one-time, per-DBMS, per-physical-machine step that makes
+the query optimizer usable as a what-if cost model for virtualization
+design:
+
+* :mod:`repro.calibration.probes` — the stand-alone measurement programs
+  (CPU speed, sequential I/O, random I/O) that run inside a VM;
+* :mod:`repro.calibration.queries` — calibration query and database design;
+* :mod:`repro.calibration.regression` — the regression utilities used to fit
+  calibration functions and renormalization factors;
+* :mod:`repro.calibration.renormalize` — converts engine-native cost units
+  into seconds;
+* :mod:`repro.calibration.calibrator` — orchestrates the whole procedure for
+  the PostgreSQL and DB2 engines and produces
+  :class:`~repro.calibration.calibrator.EngineCalibration` objects used by
+  the advisor's cost estimator.
+"""
+
+from .calibrator import (
+    CalibrationSettings,
+    DB2Calibration,
+    EngineCalibration,
+    PostgreSQLCalibration,
+    calibrate_engine,
+)
+from .renormalize import RegressionRenormalizer, Renormalizer, ScalarRenormalizer
+
+__all__ = [
+    "CalibrationSettings",
+    "DB2Calibration",
+    "EngineCalibration",
+    "PostgreSQLCalibration",
+    "RegressionRenormalizer",
+    "Renormalizer",
+    "ScalarRenormalizer",
+    "calibrate_engine",
+]

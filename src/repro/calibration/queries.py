@@ -1,0 +1,157 @@
+"""Calibration query and database design (Section 4.3 of the paper).
+
+The calibration database is deliberately small, uniformly distributed, and
+shaped so that each calibration query's cost depends on as few optimizer
+parameters as possible:
+
+* ``cal_count`` — ``SELECT count(*) FROM cal_facts`` — a sequential scan
+  returning a single row; its cost depends on ``cpu_tuple_cost`` and
+  ``cpu_operator_cost`` (the ``count`` aggregate) plus the sequential I/O.
+* ``cal_group`` — ``SELECT grp, count(*) FROM cal_facts GROUP BY grp`` — the
+  same scan with more per-row operator work, providing the second equation
+  of the 2×2 system used to separate ``cpu_tuple_cost`` from
+  ``cpu_operator_cost``.
+* ``cal_index`` — an index-based selection with known selectivity, used to
+  determine ``cpu_index_tuple_cost`` once the other CPU parameters are
+  known.
+
+Because the calibration designer knows the plans these queries use, the
+module also exposes the *known* logical resource usage of each query, which
+is what the calibration equations are written in terms of.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..dbms.catalog import Database
+from ..dbms.plans import (
+    HashAggregateNode,
+    IndexScanNode,
+    PlanBuildContext,
+    PlanNode,
+    ResourceUsage,
+    ResultNode,
+    SeqScanNode,
+)
+from ..dbms.query import AggregateSpec, QuerySpec, TableAccess
+
+#: Name of the calibration database.
+CALIBRATION_DATABASE_NAME = "calibration"
+
+#: Rows in the calibration fact table — large enough for measurable run
+#: times, small enough to keep calibration cheap (Section 4.3).
+CALIBRATION_FACT_ROWS = 400_000
+CALIBRATION_FACT_WIDTH = 64
+
+#: Selectivity of the index-based calibration query.
+CALIBRATION_INDEX_SELECTIVITY = 0.02
+
+
+def calibration_database() -> Database:
+    """Build the shared calibration database."""
+    database = Database(CALIBRATION_DATABASE_NAME)
+    database.create_table(
+        "cal_facts", row_count=CALIBRATION_FACT_ROWS, row_width_bytes=CALIBRATION_FACT_WIDTH
+    )
+    database.create_index("idx_cal_facts_key", "cal_facts", key_width_bytes=8)
+    return database
+
+
+@dataclass(frozen=True)
+class CalibrationQuery:
+    """A calibration query together with its known plan and resource usage."""
+
+    spec: QuerySpec
+    plan_root: PlanNode
+
+    @property
+    def usage(self) -> ResourceUsage:
+        """Known logical resource usage of the query's (known) plan."""
+        return self.plan_root.total_usage()
+
+
+def _context(database: Database) -> PlanBuildContext:
+    # The calibration database is tiny (a few tens of MB) and the paper's
+    # methodology measures against a warm cache, so the calibration plans
+    # assume the fact table is resident.
+    return PlanBuildContext(
+        database=database, work_mem_mb=32.0, cache_mb=256.0, cpu_work_per_tuple=1.0
+    )
+
+
+def count_star_query(database: Database) -> CalibrationQuery:
+    """``SELECT count(*) FROM cal_facts`` with its known sequential-scan plan."""
+    access = TableAccess(
+        table="cal_facts", selectivity=1.0, predicates_per_row=0.0,
+        output_width_bytes=8,
+    )
+    spec = QuerySpec(
+        name="cal_count",
+        database=database.name,
+        driver=access,
+        aggregate=AggregateSpec(group_fraction=0.0, aggregates=1.0),
+        result_rows=1,
+        sql="SELECT count(*) FROM cal_facts",
+    )
+    context = _context(database)
+    scan = SeqScanNode(access, context)
+    aggregate = HashAggregateNode(scan, spec.aggregate, context)
+    root = ResultNode(aggregate, result_rows=1)
+    return CalibrationQuery(spec=spec, plan_root=root)
+
+
+def group_count_query(database: Database) -> CalibrationQuery:
+    """``SELECT grp, count(*) FROM cal_facts GROUP BY grp`` with its known plan."""
+    access = TableAccess(
+        table="cal_facts", selectivity=1.0, predicates_per_row=2.0,
+        output_width_bytes=16,
+    )
+    spec = QuerySpec(
+        name="cal_group",
+        database=database.name,
+        driver=access,
+        aggregate=AggregateSpec(group_fraction=0.0001, aggregates=2.0),
+        result_rows=CALIBRATION_FACT_ROWS * 0.0001,
+        sql="SELECT grp, count(*) FROM cal_facts GROUP BY grp",
+    )
+    context = _context(database)
+    scan = SeqScanNode(access, context)
+    aggregate = HashAggregateNode(scan, spec.aggregate, context)
+    root = ResultNode(aggregate, result_rows=spec.result_rows)
+    return CalibrationQuery(spec=spec, plan_root=root)
+
+
+def index_scan_query(database: Database) -> CalibrationQuery:
+    """A selective index-based query with known selectivity and plan."""
+    access = TableAccess(
+        table="cal_facts",
+        selectivity=CALIBRATION_INDEX_SELECTIVITY,
+        predicates_per_row=1.0,
+        index="idx_cal_facts_key",
+        index_selectivity=CALIBRATION_INDEX_SELECTIVITY,
+        output_width_bytes=16,
+    )
+    spec = QuerySpec(
+        name="cal_index",
+        database=database.name,
+        driver=access,
+        aggregate=AggregateSpec(group_fraction=0.0, aggregates=1.0),
+        result_rows=1,
+        sql="SELECT count(*) FROM cal_facts WHERE key BETWEEN :lo AND :hi",
+    )
+    context = _context(database)
+    scan = IndexScanNode(access, context)
+    aggregate = HashAggregateNode(scan, spec.aggregate, context)
+    root = ResultNode(aggregate, result_rows=1)
+    return CalibrationQuery(spec=spec, plan_root=root)
+
+
+def calibration_queries(database: Database) -> Dict[str, CalibrationQuery]:
+    """All calibration queries keyed by name."""
+    return {
+        "cal_count": count_star_query(database),
+        "cal_group": group_count_query(database),
+        "cal_index": index_scan_query(database),
+    }

@@ -1,0 +1,136 @@
+"""Regression utilities used by calibration and online refinement.
+
+Everything here is a thin, explicit wrapper around ``numpy.linalg.lstsq``:
+the paper's calibration functions are ordinary least-squares fits (linear in
+``1 / cpu share``), renormalization of DB2 timerons is a linear regression,
+and online refinement re-fits linear and piecewise-linear cost models from
+observed execution times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CalibrationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A one-dimensional linear model ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+
+    def predict(self, x: float) -> float:
+        """Predicted value at ``x``."""
+        return self.slope * x + self.intercept
+
+    def __call__(self, x: float) -> float:
+        return self.predict(x)
+
+
+@dataclass(frozen=True)
+class MultiLinearFit:
+    """A multi-dimensional linear model ``y = coeffs . x + intercept``."""
+
+    coefficients: Tuple[float, ...]
+    intercept: float
+
+    def predict(self, x: Sequence[float]) -> float:
+        """Predicted value at the feature vector ``x``."""
+        if len(x) != len(self.coefficients):
+            raise CalibrationError(
+                f"expected {len(self.coefficients)} features, got {len(x)}"
+            )
+        return float(np.dot(self.coefficients, np.asarray(x, dtype=float)) + self.intercept)
+
+    def __call__(self, x: Sequence[float]) -> float:
+        return self.predict(x)
+
+
+def fit_linear(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares fit of ``y = slope * x + intercept``.
+
+    With a single observation the fit degenerates to a constant model
+    (slope 0), which is the conservative behaviour online refinement needs
+    when it has seen only one actual cost.
+    """
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise CalibrationError("fit_linear requires equal-length 1-D sequences")
+    if xs.size == 0:
+        raise CalibrationError("fit_linear requires at least one observation")
+    if xs.size == 1:
+        return LinearFit(slope=0.0, intercept=float(ys[0]))
+    design = np.column_stack([xs, np.ones_like(xs)])
+    solution, *_ = np.linalg.lstsq(design, ys, rcond=None)
+    return LinearFit(slope=float(solution[0]), intercept=float(solution[1]))
+
+
+def fit_proportional(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares fit of ``y = slope * x`` (regression through the origin)."""
+    xs = np.asarray(xs, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size == 0:
+        raise CalibrationError("fit_proportional requires equal-length 1-D sequences")
+    denominator = float(np.dot(xs, xs))
+    if denominator == 0.0:
+        raise CalibrationError("fit_proportional requires a non-zero regressor")
+    return float(np.dot(xs, ys) / denominator)
+
+
+def fit_multilinear(
+    features: Sequence[Sequence[float]], ys: Sequence[float]
+) -> MultiLinearFit:
+    """Least-squares fit of ``y = coeffs . x + intercept``.
+
+    When there are fewer observations than unknowns, ``lstsq`` returns the
+    minimum-norm solution, which keeps the refinement machinery well-defined
+    in its first few iterations.
+    """
+    matrix = np.asarray(features, dtype=float)
+    ys = np.asarray(ys, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != ys.shape[0]:
+        raise CalibrationError("fit_multilinear requires one feature row per observation")
+    if matrix.shape[0] == 0:
+        raise CalibrationError("fit_multilinear requires at least one observation")
+    design = np.column_stack([matrix, np.ones(matrix.shape[0])])
+    solution, *_ = np.linalg.lstsq(design, ys, rcond=None)
+    return MultiLinearFit(
+        coefficients=tuple(float(value) for value in solution[:-1]),
+        intercept=float(solution[-1]),
+    )
+
+
+def solve_linear_system(
+    coefficients: Sequence[Sequence[float]], constants: Sequence[float]
+) -> Tuple[float, ...]:
+    """Solve a small square linear system (used by the calibration equations)."""
+    matrix = np.asarray(coefficients, dtype=float)
+    rhs = np.asarray(constants, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise CalibrationError("solve_linear_system requires a square coefficient matrix")
+    if matrix.shape[0] != rhs.shape[0]:
+        raise CalibrationError("constants length must match the coefficient matrix")
+    try:
+        solution = np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise CalibrationError(f"calibration equations are singular: {exc}") from exc
+    return tuple(float(value) for value in solution)
+
+
+def r_squared(predicted: Sequence[float], actual: Sequence[float]) -> float:
+    """Coefficient of determination of ``predicted`` against ``actual``."""
+    predicted = np.asarray(predicted, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if predicted.shape != actual.shape or predicted.size == 0:
+        raise CalibrationError("r_squared requires equal-length non-empty sequences")
+    total = float(np.sum((actual - actual.mean()) ** 2))
+    residual = float(np.sum((actual - predicted) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total

@@ -1,0 +1,85 @@
+"""Cost-unit renormalization (Section 4.2 of the paper).
+
+Different engines express optimizer costs in different units.  The advisor
+needs all costs in one unit — we, like the paper, use seconds — so every
+engine gets a renormalizer:
+
+* PostgreSQL normalizes costs to the cost of one sequential page read, so
+  its renormalizer is simply the measured seconds per sequential page read
+  (:class:`ScalarRenormalizer`).
+* DB2 reports timerons, a synthetic unit; its renormalizer is obtained by a
+  linear regression of measured query times against estimated timerons
+  (:class:`RegressionRenormalizer`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import CalibrationError
+from .regression import fit_proportional
+
+
+class Renormalizer(ABC):
+    """Converts an engine-native cost estimate into seconds."""
+
+    @abstractmethod
+    def to_seconds(self, native_cost: float) -> float:
+        """Return the cost expressed in seconds."""
+
+    def __call__(self, native_cost: float) -> float:
+        return self.to_seconds(native_cost)
+
+
+@dataclass(frozen=True)
+class ScalarRenormalizer(Renormalizer):
+    """Multiplies native costs by a fixed seconds-per-unit factor."""
+
+    seconds_per_unit: float
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_unit <= 0:
+            raise CalibrationError("seconds_per_unit must be positive")
+
+    def to_seconds(self, native_cost: float) -> float:
+        if native_cost < 0:
+            raise CalibrationError("native cost must not be negative")
+        return native_cost * self.seconds_per_unit
+
+
+@dataclass(frozen=True)
+class RegressionRenormalizer(Renormalizer):
+    """Converts native costs to seconds via a fitted proportional model."""
+
+    seconds_per_unit: float
+
+    def __post_init__(self) -> None:
+        if self.seconds_per_unit <= 0:
+            raise CalibrationError("seconds_per_unit must be positive")
+
+    def to_seconds(self, native_cost: float) -> float:
+        if native_cost < 0:
+            raise CalibrationError("native cost must not be negative")
+        return native_cost * self.seconds_per_unit
+
+    @classmethod
+    def from_observations(
+        cls, native_costs: Sequence[float], measured_seconds: Sequence[float]
+    ) -> "RegressionRenormalizer":
+        """Fit the seconds-per-unit factor from calibration measurements.
+
+        The regression is through the origin: zero estimated cost must map
+        to zero seconds.
+        """
+        if len(native_costs) != len(measured_seconds) or not native_costs:
+            raise CalibrationError(
+                "renormalization requires matching, non-empty cost/time sequences"
+            )
+        slope = fit_proportional(native_costs, measured_seconds)
+        if slope <= 0:
+            raise CalibrationError(
+                f"renormalization regression produced a non-positive factor ({slope})"
+            )
+        return cls(seconds_per_unit=slope)

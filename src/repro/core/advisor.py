@@ -1,0 +1,182 @@
+"""The virtualization design advisor facade.
+
+:class:`VirtualizationDesignAdvisor` ties the pieces together in the shape
+shown in Figure 3 of the paper: a configuration enumerator exploring the
+space of allocations, a cost estimator answering what-if questions through
+the calibrated query optimizers, plus the online-refinement and
+dynamic-management extensions of Sections 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..monitoring.metrics import relative_improvement
+from .cost_estimator import ActualCostFunction, CostFunction, WhatIfCostEstimator
+from .dynamic import DynamicConfigurationManager
+from .enumerator import (
+    EnumerationResult,
+    ExhaustiveSearch,
+    GreedyConfigurationEnumerator,
+)
+from .problem import ResourceAllocation, VirtualizationDesignProblem
+from .refinement import (
+    BasicOnlineRefinement,
+    GeneralizedOnlineRefinement,
+    RefinementResult,
+)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A complete recommendation for one design problem.
+
+    Attributes:
+        allocations: recommended resource shares, one per tenant.
+        per_workload_costs: estimated cost (seconds) per tenant under the
+            recommendation.
+        total_cost: total estimated cost under the recommendation.
+        default_cost: total estimated cost under the default ``1/N``
+            allocation.
+        estimated_improvement: the paper's relative-improvement metric,
+            computed from estimates.
+        iterations: greedy iterations used.
+        cost_calls: cost-estimator invocations used.
+    """
+
+    allocations: Tuple[ResourceAllocation, ...]
+    per_workload_costs: Tuple[float, ...]
+    total_cost: float
+    default_cost: float
+    estimated_improvement: float
+    iterations: int
+    cost_calls: int
+
+    def allocation_of(self, tenant_index: int) -> ResourceAllocation:
+        """Allocation recommended for one tenant."""
+        return self.allocations[tenant_index]
+
+
+class VirtualizationDesignAdvisor:
+    """Recommends virtual machine configurations for consolidated DBMSes."""
+
+    def __init__(
+        self,
+        delta: float = 0.05,
+        min_share: float = 0.05,
+        max_iterations: int = 500,
+    ) -> None:
+        self.enumerator = GreedyConfigurationEnumerator(
+            delta=delta, min_share=min_share, max_iterations=max_iterations
+        )
+
+    # ------------------------------------------------------------------
+    # Static recommendation (Section 4)
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: Optional[CostFunction] = None,
+    ) -> Recommendation:
+        """Produce the initial, static recommendation for a problem."""
+        cost_function = cost_function or WhatIfCostEstimator(problem)
+        result = self.enumerator.enumerate(problem, cost_function)
+        return self._to_recommendation(problem, cost_function, result)
+
+    def recommend_exhaustive(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: Optional[CostFunction] = None,
+        delta: Optional[float] = None,
+        max_combinations: int = 2_000_000,
+    ) -> Recommendation:
+        """Find the best allocation by exhaustive grid search.
+
+        With an :class:`ActualCostFunction` this computes the paper's
+        "optimal allocation obtained by exhaustively enumerating all
+        feasible allocations and measuring performance in each one".
+        """
+        cost_function = cost_function or WhatIfCostEstimator(problem)
+        search = ExhaustiveSearch(
+            delta=delta if delta is not None else self.enumerator.delta,
+            min_share=self.enumerator.min_share,
+            max_combinations=max_combinations,
+        )
+        result = search.search(problem, cost_function)
+        return self._to_recommendation(problem, cost_function, result)
+
+    def _to_recommendation(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: CostFunction,
+        result: EnumerationResult,
+    ) -> Recommendation:
+        default_cost = cost_function.total_cost(problem.default_allocation())
+        return Recommendation(
+            allocations=result.allocations,
+            per_workload_costs=result.per_workload_costs,
+            total_cost=result.total_cost,
+            default_cost=default_cost,
+            estimated_improvement=relative_improvement(default_cost, result.total_cost),
+            iterations=result.iterations,
+            cost_calls=result.cost_calls,
+        )
+
+    # ------------------------------------------------------------------
+    # Online refinement (Section 5)
+    # ------------------------------------------------------------------
+    def refine_online(
+        self,
+        problem: VirtualizationDesignProblem,
+        actual_costs: Optional[CostFunction] = None,
+        estimator: Optional[WhatIfCostEstimator] = None,
+        max_iterations: int = 8,
+    ) -> RefinementResult:
+        """Refine the recommendation using observed workload execution times."""
+        estimator = estimator or WhatIfCostEstimator(problem)
+        actual_costs = actual_costs or ActualCostFunction(problem)
+        if len(problem.resources) == 1:
+            refinement = BasicOnlineRefinement(
+                problem, estimator, actual_costs,
+                enumerator=self.enumerator, max_iterations=max_iterations,
+            )
+        else:
+            refinement = GeneralizedOnlineRefinement(
+                problem, estimator, actual_costs,
+                enumerator=self.enumerator, max_iterations=max_iterations,
+            )
+        return refinement.run()
+
+    # ------------------------------------------------------------------
+    # Dynamic configuration management (Section 6)
+    # ------------------------------------------------------------------
+    def dynamic_manager(
+        self,
+        problem: VirtualizationDesignProblem,
+        always_refine: bool = False,
+        actual_cost_factory=None,
+    ) -> DynamicConfigurationManager:
+        """Create a dynamic configuration manager for a (CPU-only) problem."""
+        return DynamicConfigurationManager(
+            base_problem=problem,
+            enumerator=self.enumerator,
+            always_refine=always_refine,
+            actual_cost_factory=actual_cost_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def measured_improvement(
+        problem: VirtualizationDesignProblem,
+        allocations: Tuple[ResourceAllocation, ...],
+        actual_costs: Optional[CostFunction] = None,
+    ) -> float:
+        """Actual relative improvement of an allocation over the default."""
+        actual_costs = actual_costs or ActualCostFunction(problem)
+        default_cost = actual_costs.total_cost(problem.default_allocation())
+        new_cost = actual_costs.total_cost(allocations)
+        return relative_improvement(default_cost, new_cost)

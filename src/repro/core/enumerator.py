@@ -1,0 +1,361 @@
+"""Configuration enumeration.
+
+:class:`GreedyConfigurationEnumerator` implements the greedy algorithm of
+Figure 11: start from the default ``1/N`` allocation and repeatedly shift a
+share ``delta`` of some resource from the workload that suffers least to the
+workload that benefits most, honouring degradation limits and weighting
+costs by the benefit gain factors, until no beneficial shift remains.
+
+:class:`ExhaustiveSearch` enumerates every feasible allocation on a
+``delta`` grid and returns the best one.  The paper uses it (on actual
+measurements) to establish the optimal allocation the advisor is compared
+against, and (on estimates) to verify that greedy search stays within a few
+percent of optimal.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import OptimizationError
+from .cost_estimator import CostFunction
+from .problem import (
+    CPU,
+    MEMORY,
+    ResourceAllocation,
+    UNLIMITED_DEGRADATION,
+    VirtualizationDesignProblem,
+)
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class EnumerationResult:
+    """Outcome of a configuration search.
+
+    Attributes:
+        allocations: recommended allocation per tenant (problem order).
+        per_workload_costs: estimated cost (seconds, unweighted) per tenant
+            at the recommended allocation.
+        total_cost: sum of the per-workload costs.
+        weighted_cost: gain-weighted total the search minimized.
+        iterations: number of greedy iterations (or grid points examined).
+        cost_calls: number of cost-function invocations the search made.
+    """
+
+    allocations: Tuple[ResourceAllocation, ...]
+    per_workload_costs: Tuple[float, ...]
+    total_cost: float
+    weighted_cost: float
+    iterations: int
+    cost_calls: int
+
+    def allocation_of(self, tenant_index: int) -> ResourceAllocation:
+        """Allocation recommended for one tenant."""
+        return self.allocations[tenant_index]
+
+
+class GreedyConfigurationEnumerator:
+    """The greedy configuration enumeration algorithm of Figure 11."""
+
+    def __init__(
+        self,
+        delta: float = 0.05,
+        min_share: float = 0.05,
+        max_iterations: int = 500,
+    ) -> None:
+        if not 0.0 < delta < 1.0:
+            raise OptimizationError(f"delta must be in (0, 1), got {delta}")
+        if not 0.0 <= min_share < 1.0:
+            raise OptimizationError(f"min_share must be in [0, 1), got {min_share}")
+        if max_iterations <= 0:
+            raise OptimizationError("max_iterations must be positive")
+        self.delta = delta
+        self.min_share = min_share
+        self.max_iterations = max_iterations
+
+    def enumerate(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: CostFunction,
+    ) -> EnumerationResult:
+        """Run the greedy search and return the recommended allocations."""
+        n = problem.n_workloads
+        calls_before = cost_function.call_count
+        allocations: List[ResourceAllocation] = list(problem.default_allocation())
+        full_costs = {
+            i: cost_function.cost(i, problem.full_allocation())
+            for i in range(n)
+            if problem.tenant(i).degradation_limit != UNLIMITED_DEGRADATION
+        }
+        # Satisfy the degradation limits first: the default 1/N allocation
+        # may already violate a tight limit, in which case resources are
+        # shifted toward the constrained workloads even if doing so
+        # increases the total cost (the QoS constraint takes precedence,
+        # as in the paper's Figure 19 experiment).
+        if full_costs:
+            self._repair_degradation(problem, cost_function, full_costs, allocations)
+        weighted = [
+            cost_function.weighted_cost(i, allocations[i]) for i in range(n)
+        ]
+
+        iterations = 0
+        while iterations < self.max_iterations:
+            iterations += 1
+            best_move: Optional[Tuple[str, int, int, float, float, float]] = None
+            max_diff = 0.0
+            for resource in problem.resources:
+                max_gain = 0.0
+                min_loss = math.inf
+                i_gain: Optional[int] = None
+                i_lose: Optional[int] = None
+                gain_cost = 0.0
+                lose_cost = 0.0
+                for i in range(n):
+                    share = allocations[i].get(resource)
+                    # Who benefits most from an increase?
+                    if share + self.delta <= 1.0 + _EPSILON:
+                        increased = allocations[i].shifted(
+                            resource, min(1.0 - share, self.delta)
+                        )
+                        cost_up = cost_function.weighted_cost(i, increased)
+                        gain = weighted[i] - cost_up
+                        if gain > max_gain:
+                            max_gain, i_gain, gain_cost = gain, i, cost_up
+                    # Who suffers least from a reduction?
+                    if share - self.delta >= self.min_share - _EPSILON:
+                        reduced = allocations[i].shifted(resource, -self.delta)
+                        cost_down = cost_function.weighted_cost(i, reduced)
+                        loss = cost_down - weighted[i]
+                        if loss < min_loss and self._within_degradation_limit(
+                            problem, cost_function, full_costs, i, reduced
+                        ):
+                            min_loss, i_lose, lose_cost = loss, i, cost_down
+                if (
+                    i_gain is not None
+                    and i_lose is not None
+                    and i_gain != i_lose
+                    and max_gain - min_loss > max_diff
+                ):
+                    max_diff = max_gain - min_loss
+                    best_move = (resource, i_gain, i_lose, gain_cost, lose_cost, max_diff)
+
+            if best_move is None or max_diff <= 0.0:
+                break
+            resource, i_gain, i_lose, gain_cost, lose_cost, _ = best_move
+            allocations[i_gain] = allocations[i_gain].shifted(resource, self.delta)
+            allocations[i_lose] = allocations[i_lose].shifted(resource, -self.delta)
+            weighted[i_gain] = gain_cost
+            weighted[i_lose] = lose_cost
+
+        per_costs = tuple(
+            cost_function.cost(i, allocations[i]) for i in range(n)
+        )
+        return EnumerationResult(
+            allocations=tuple(allocations),
+            per_workload_costs=per_costs,
+            total_cost=sum(per_costs),
+            weighted_cost=sum(
+                problem.tenant(i).gain_factor * per_costs[i] for i in range(n)
+            ),
+            iterations=iterations,
+            cost_calls=cost_function.call_count - calls_before,
+        )
+
+    def _within_degradation_limit(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: CostFunction,
+        full_costs: dict,
+        tenant_index: int,
+        allocation: ResourceAllocation,
+    ) -> bool:
+        limit = problem.tenant(tenant_index).degradation_limit
+        if limit == UNLIMITED_DEGRADATION:
+            return True
+        base = full_costs[tenant_index]
+        if base <= 0:
+            return True
+        cost = cost_function.cost(tenant_index, allocation)
+        return cost <= limit * base + _EPSILON
+
+    def _repair_degradation(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: CostFunction,
+        full_costs: dict,
+        allocations: List[ResourceAllocation],
+    ) -> None:
+        """Shift resources toward workloads whose degradation limit is violated.
+
+        Each repair step moves ``delta`` of one resource from the donor that
+        suffers the smallest (gain-weighted) cost increase — and whose own
+        limit remains satisfied — to a violating workload.  The loop stops
+        when every limit is met or no legal donor remains (the limit is then
+        reported as unmet, as in the paper's L = 1.5 case).
+        """
+        n = problem.n_workloads
+        for _ in range(self.max_iterations):
+            violator = None
+            for index in range(n):
+                if index in full_costs and not self._within_degradation_limit(
+                    problem, cost_function, full_costs, index, allocations[index]
+                ):
+                    violator = index
+                    break
+            if violator is None:
+                return
+            best_move = None
+            best_loss = math.inf
+            for resource in problem.resources:
+                if allocations[violator].get(resource) + self.delta > 1.0 + _EPSILON:
+                    continue
+                for donor in range(n):
+                    if donor == violator:
+                        continue
+                    share = allocations[donor].get(resource)
+                    if share - self.delta < self.min_share - _EPSILON:
+                        continue
+                    reduced = allocations[donor].shifted(resource, -self.delta)
+                    if not self._within_degradation_limit(
+                        problem, cost_function, full_costs, donor, reduced
+                    ):
+                        continue
+                    loss = (
+                        cost_function.weighted_cost(donor, reduced)
+                        - cost_function.weighted_cost(donor, allocations[donor])
+                    )
+                    if loss < best_loss:
+                        best_loss = loss
+                        best_move = (resource, donor)
+            if best_move is None:
+                return
+            resource, donor = best_move
+            allocations[violator] = allocations[violator].shifted(resource, self.delta)
+            allocations[donor] = allocations[donor].shifted(resource, -self.delta)
+
+
+class ExhaustiveSearch:
+    """Grid enumeration of every feasible allocation (the optimal baseline)."""
+
+    def __init__(
+        self,
+        delta: float = 0.05,
+        min_share: float = 0.05,
+        max_combinations: int = 2_000_000,
+        enforce_degradation_limits: bool = True,
+    ) -> None:
+        if not 0.0 < delta < 1.0:
+            raise OptimizationError(f"delta must be in (0, 1), got {delta}")
+        self.delta = delta
+        self.min_share = min_share
+        self.max_combinations = max_combinations
+        self.enforce_degradation_limits = enforce_degradation_limits
+
+    # ------------------------------------------------------------------
+    # Grid enumeration helpers
+    # ------------------------------------------------------------------
+    def _share_grid(self, n_workloads: int) -> List[Tuple[float, ...]]:
+        """All ways of splitting one resource among ``n_workloads`` tenants."""
+        units = round(1.0 / self.delta)
+        min_units = max(0, round(self.min_share / self.delta))
+        if min_units * n_workloads > units:
+            raise OptimizationError(
+                "min_share is too large for the number of workloads"
+            )
+        combos: List[Tuple[float, ...]] = []
+
+        def compose(remaining: int, parts_left: int, prefix: List[int]) -> None:
+            if parts_left == 1:
+                if remaining >= min_units:
+                    combos.append(tuple((p * self.delta) for p in prefix + [remaining]))
+                return
+            for value in range(min_units, remaining - min_units * (parts_left - 1) + 1):
+                compose(remaining - value, parts_left - 1, prefix + [value])
+
+        compose(units, n_workloads, [])
+        return combos
+
+    def search(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: CostFunction,
+    ) -> EnumerationResult:
+        """Evaluate every grid allocation and return the cheapest feasible one."""
+        n = problem.n_workloads
+        calls_before = cost_function.call_count
+        cpu_grids = self._share_grid(n)
+        if problem.controls_memory:
+            memory_grids = self._share_grid(n)
+        else:
+            memory_grids = [tuple(problem.fixed_memory_fraction for _ in range(n))]
+        total_combinations = len(cpu_grids) * len(memory_grids)
+        if total_combinations > self.max_combinations:
+            raise OptimizationError(
+                f"exhaustive search would evaluate {total_combinations} allocations; "
+                f"raise max_combinations or coarsen delta"
+            )
+
+        full_costs = {
+            i: cost_function.cost(i, problem.full_allocation())
+            for i in range(n)
+            if problem.tenant(i).degradation_limit != UNLIMITED_DEGRADATION
+        }
+
+        best_allocations: Optional[Tuple[ResourceAllocation, ...]] = None
+        best_weighted = math.inf
+        examined = 0
+        for cpu_shares in cpu_grids:
+            for memory_fractions in memory_grids:
+                examined += 1
+                allocations = tuple(
+                    ResourceAllocation(cpu_share=cpu_shares[i],
+                                       memory_fraction=memory_fractions[i])
+                    for i in range(n)
+                )
+                if self.enforce_degradation_limits and not self._feasible(
+                    problem, cost_function, full_costs, allocations
+                ):
+                    continue
+                weighted = cost_function.total_weighted_cost(allocations)
+                if weighted < best_weighted:
+                    best_weighted = weighted
+                    best_allocations = allocations
+
+        if best_allocations is None:
+            raise OptimizationError(
+                "exhaustive search found no allocation satisfying the degradation limits"
+            )
+        per_costs = tuple(
+            cost_function.cost(i, best_allocations[i]) for i in range(n)
+        )
+        return EnumerationResult(
+            allocations=best_allocations,
+            per_workload_costs=per_costs,
+            total_cost=sum(per_costs),
+            weighted_cost=best_weighted,
+            iterations=examined,
+            cost_calls=cost_function.call_count - calls_before,
+        )
+
+    def _feasible(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: CostFunction,
+        full_costs: dict,
+        allocations: Sequence[ResourceAllocation],
+    ) -> bool:
+        for index, allocation in enumerate(allocations):
+            limit = problem.tenant(index).degradation_limit
+            if limit == UNLIMITED_DEGRADATION:
+                continue
+            base = full_costs[index]
+            if base <= 0:
+                continue
+            if cost_function.cost(index, allocation) > limit * base + _EPSILON:
+                return False
+        return True

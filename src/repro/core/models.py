@@ -1,0 +1,349 @@
+"""Fitted cost models used by online refinement (Section 5 of the paper).
+
+Three model families are implemented:
+
+* :class:`LinearCostModel` — ``Cost(W, [r]) = alpha / r + beta`` for
+  resources (such as CPU) whose cost is linear in the inverse of the
+  allocation level.
+* :class:`PiecewiseLinearCostModel` — a separate linear model per interval
+  ``A_j`` of allocation levels, where intervals correspond to different
+  query execution plans (the behaviour of memory).
+* :class:`MultiResourceCostModel` — the generalized model of Section 5.2:
+  ``Cost(W, R) = sum_j alpha_jk / r_j + beta_k`` where the interval ``k`` is
+  determined by the allocation of the piecewise resource (memory).
+
+All models support the two refinement operations the paper uses: scaling by
+``Act/Est`` and re-fitting from observed points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..calibration.regression import fit_linear, fit_multilinear
+from ..exceptions import RefinementError
+from .problem import CPU, MEMORY, ResourceAllocation
+
+
+@dataclass(frozen=True)
+class LinearCostModel:
+    """``cost(r) = alpha / r + beta`` for a single resource."""
+
+    alpha: float
+    beta: float
+    resource: str = CPU
+
+    def cost_at(self, share: float) -> float:
+        """Cost at allocation level ``share`` of the modeled resource."""
+        if share <= 0:
+            raise RefinementError("allocation share must be positive")
+        return self.alpha / share + self.beta
+
+    def cost(self, allocation: ResourceAllocation) -> float:
+        """Cost at a full allocation vector (uses only the modeled resource)."""
+        return self.cost_at(allocation.get(self.resource))
+
+    def scaled(self, factor: float) -> "LinearCostModel":
+        """Return the model scaled by ``Act/Est`` (both slope and intercept)."""
+        if factor <= 0:
+            raise RefinementError("scale factor must be positive")
+        return replace(self, alpha=self.alpha * factor, beta=self.beta * factor)
+
+    @classmethod
+    def fit(
+        cls, points: Sequence[Tuple[float, float]], resource: str = CPU
+    ) -> "LinearCostModel":
+        """Fit the model from ``(share, cost)`` observations."""
+        if not points:
+            raise RefinementError("cannot fit a linear cost model from no points")
+        inverse_shares = [1.0 / share for share, _ in points]
+        costs = [cost for _, cost in points]
+        fit = fit_linear(inverse_shares, costs)
+        return cls(alpha=fit.slope, beta=fit.intercept, resource=resource)
+
+
+@dataclass(frozen=True)
+class AllocationInterval:
+    """An interval ``A_j`` of allocation levels sharing one execution plan."""
+
+    lower: float
+    upper: float
+    signature: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise RefinementError(
+                f"interval lower bound {self.lower} exceeds upper bound {self.upper}"
+            )
+
+    def contains(self, share: float) -> bool:
+        """Whether ``share`` lies inside the interval (inclusive)."""
+        return self.lower - 1e-12 <= share <= self.upper + 1e-12
+
+    def distance(self, share: float) -> float:
+        """Distance from ``share`` to the interval (0 when inside)."""
+        if share < self.lower:
+            return self.lower - share
+        if share > self.upper:
+            return share - self.upper
+        return 0.0
+
+    def midpoint(self) -> float:
+        """Centre of the interval."""
+        return 0.5 * (self.lower + self.upper)
+
+
+@dataclass
+class PiecewiseLinearCostModel:
+    """A linear model per plan interval for a single (memory-like) resource."""
+
+    intervals: List[AllocationInterval]
+    models: List[LinearCostModel]
+    resource: str = MEMORY
+
+    def __post_init__(self) -> None:
+        if len(self.intervals) != len(self.models):
+            raise RefinementError("each interval needs exactly one linear model")
+        if not self.intervals:
+            raise RefinementError("a piecewise model needs at least one interval")
+
+    # ------------------------------------------------------------------
+    # Interval lookup
+    # ------------------------------------------------------------------
+    def interval_index(self, share: float) -> int:
+        """Index of the interval containing ``share`` (or the closest one).
+
+        Allocation levels that fall in the gap between two intervals are
+        assigned to the *closer* interval, the initial rule of Section 5.1;
+        refinement may later reassign them based on observed costs.
+        """
+        best_index = 0
+        best_distance = math.inf
+        for index, interval in enumerate(self.intervals):
+            distance = interval.distance(share)
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+            if distance == 0.0:
+                return index
+        return best_index
+
+    def cost_at(self, share: float) -> float:
+        """Cost at allocation level ``share`` of the piecewise resource."""
+        return self.models[self.interval_index(share)].cost_at(share)
+
+    def cost(self, allocation: ResourceAllocation) -> float:
+        """Cost at a full allocation vector (uses only the modeled resource)."""
+        return self.cost_at(allocation.get(self.resource))
+
+    # ------------------------------------------------------------------
+    # Refinement operations
+    # ------------------------------------------------------------------
+    def scale_all(self, factor: float) -> None:
+        """Scale every interval's model by ``Act/Est`` (first iteration rule)."""
+        self.models = [model.scaled(factor) for model in self.models]
+
+    def scale_interval(self, index: int, factor: float) -> None:
+        """Scale one interval's model by ``Act/Est``."""
+        self.models[index] = self.models[index].scaled(factor)
+
+    def refit_interval(
+        self, index: int, points: Sequence[Tuple[float, float]]
+    ) -> None:
+        """Replace one interval's model with a regression over observations."""
+        self.models[index] = LinearCostModel.fit(points, resource=self.resource)
+
+    def reassign_boundary(self, share: float, observed_cost: float) -> int:
+        """Assign a gap allocation to the interval whose estimate is closer.
+
+        Returns the chosen interval index and extends that interval so that
+        it now contains ``share`` (the paper's boundary-update rule).
+        """
+        candidates = sorted(
+            range(len(self.intervals)),
+            key=lambda idx: self.intervals[idx].distance(share),
+        )[:2]
+        best = min(
+            candidates,
+            key=lambda idx: abs(self.models[idx].cost_at(share) - observed_cost),
+        )
+        interval = self.intervals[best]
+        self.intervals[best] = AllocationInterval(
+            lower=min(interval.lower, share),
+            upper=max(interval.upper, share),
+            signature=interval.signature,
+        )
+        return best
+
+    @classmethod
+    def from_signature_samples(
+        cls,
+        samples: Sequence[Tuple[float, float, str]],
+        resource: str = MEMORY,
+    ) -> "PiecewiseLinearCostModel":
+        """Build the intervals and initial models from optimizer samples.
+
+        ``samples`` are ``(share, estimated_cost, plan_signature)`` triples
+        collected during configuration enumeration.  Consecutive samples
+        with the same plan signature form one interval; the interval's
+        initial model is a regression over the estimated costs inside it.
+        """
+        if not samples:
+            raise RefinementError("cannot build a piecewise model from no samples")
+        ordered = sorted(samples, key=lambda item: item[0])
+        groups: List[List[Tuple[float, float, str]]] = []
+        for sample in ordered:
+            if groups and groups[-1][0][2] == sample[2]:
+                groups[-1].append(sample)
+            else:
+                groups.append([sample])
+        intervals = []
+        models = []
+        for group in groups:
+            shares = [share for share, _, _ in group]
+            points = [(share, cost) for share, cost, _ in group]
+            intervals.append(
+                AllocationInterval(
+                    lower=min(shares), upper=max(shares), signature=group[0][2]
+                )
+            )
+            models.append(LinearCostModel.fit(points, resource=resource))
+        return cls(intervals=intervals, models=models, resource=resource)
+
+
+@dataclass
+class MultiResourceCostModel:
+    """The generalized model of Section 5.2 for CPU + memory.
+
+    ``cost(R) = sum_j alpha_jk / r_j + beta_k`` where ``k`` is the memory
+    interval containing ``R``'s memory fraction.  The ``resources`` tuple
+    lists the linearly modeled resources followed by the piecewise resource.
+    """
+
+    intervals: List[AllocationInterval]
+    alphas: List[Tuple[float, ...]]
+    betas: List[float]
+    resources: Tuple[str, ...] = (CPU, MEMORY)
+
+    def __post_init__(self) -> None:
+        if not self.intervals:
+            raise RefinementError("a multi-resource model needs at least one interval")
+        if len(self.intervals) != len(self.alphas) or len(self.intervals) != len(self.betas):
+            raise RefinementError("each interval needs one coefficient vector and intercept")
+        for coefficients in self.alphas:
+            if len(coefficients) != len(self.resources):
+                raise RefinementError(
+                    "coefficient vectors must have one entry per resource"
+                )
+
+    @property
+    def piecewise_resource(self) -> str:
+        """The resource whose allocation selects the interval (memory)."""
+        return self.resources[-1]
+
+    def interval_index(self, allocation: ResourceAllocation) -> int:
+        """Index of the interval containing the allocation's memory share."""
+        share = allocation.get(self.piecewise_resource)
+        best_index = 0
+        best_distance = math.inf
+        for index, interval in enumerate(self.intervals):
+            distance = interval.distance(share)
+            if distance == 0.0:
+                return index
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        return best_index
+
+    def cost(self, allocation: ResourceAllocation) -> float:
+        """Cost at a full allocation vector."""
+        index = self.interval_index(allocation)
+        total = self.betas[index]
+        for resource, alpha in zip(self.resources, self.alphas[index]):
+            share = allocation.get(resource)
+            if share <= 0:
+                raise RefinementError("allocation shares must be positive")
+            total += alpha / share
+        return total
+
+    # ------------------------------------------------------------------
+    # Refinement operations
+    # ------------------------------------------------------------------
+    def scale_all(self, factor: float) -> None:
+        """Scale every interval by ``Act/Est`` (first-iteration rule)."""
+        if factor <= 0:
+            raise RefinementError("scale factor must be positive")
+        self.alphas = [
+            tuple(alpha * factor for alpha in coefficients) for coefficients in self.alphas
+        ]
+        self.betas = [beta * factor for beta in self.betas]
+
+    def scale_interval(self, index: int, factor: float) -> None:
+        """Scale one interval by ``Act/Est``."""
+        if factor <= 0:
+            raise RefinementError("scale factor must be positive")
+        self.alphas[index] = tuple(alpha * factor for alpha in self.alphas[index])
+        self.betas[index] = self.betas[index] * factor
+
+    def refit_interval(
+        self,
+        index: int,
+        observations: Sequence[Tuple[ResourceAllocation, float]],
+    ) -> None:
+        """Replace one interval's coefficients with a regression over observations."""
+        if not observations:
+            raise RefinementError("cannot refit an interval from no observations")
+        features = [
+            [1.0 / allocation.get(resource) for resource in self.resources]
+            for allocation, _ in observations
+        ]
+        costs = [cost for _, cost in observations]
+        fit = fit_multilinear(features, costs)
+        self.alphas[index] = tuple(fit.coefficients)
+        self.betas[index] = fit.intercept
+
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Sequence[Tuple[ResourceAllocation, float, str]],
+        resources: Tuple[str, ...] = (CPU, MEMORY),
+    ) -> "MultiResourceCostModel":
+        """Build intervals and initial coefficients from optimizer samples.
+
+        ``samples`` are ``(allocation, estimated_cost, plan_signature)``
+        triples collected during configuration enumeration.  Samples are
+        grouped into memory intervals by plan signature (ordered by memory
+        share); each interval's coefficients come from a multi-dimensional
+        regression of estimated cost against the inverse allocation levels.
+        """
+        if not samples:
+            raise RefinementError("cannot build a multi-resource model from no samples")
+        piecewise = resources[-1]
+        ordered = sorted(samples, key=lambda item: item[0].get(piecewise))
+        groups: List[List[Tuple[ResourceAllocation, float, str]]] = []
+        for sample in ordered:
+            if groups and groups[-1][0][2] == sample[2]:
+                groups[-1].append(sample)
+            else:
+                groups.append([sample])
+        intervals: List[AllocationInterval] = []
+        alphas: List[Tuple[float, ...]] = []
+        betas: List[float] = []
+        for group in groups:
+            shares = [allocation.get(piecewise) for allocation, _, _ in group]
+            intervals.append(
+                AllocationInterval(
+                    lower=min(shares), upper=max(shares), signature=group[0][2]
+                )
+            )
+            features = [
+                [1.0 / allocation.get(resource) for resource in resources]
+                for allocation, _, _ in group
+            ]
+            costs = [cost for _, cost, _ in group]
+            fit = fit_multilinear(features, costs)
+            alphas.append(tuple(fit.coefficients))
+            betas.append(fit.intercept)
+        return cls(intervals=intervals, alphas=alphas, betas=betas, resources=resources)

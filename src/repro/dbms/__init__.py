@@ -1,0 +1,37 @@
+"""Database engine simulators.
+
+This package provides everything the virtualization design advisor needs
+from a DBMS:
+
+* a catalog with table/index statistics (:mod:`repro.dbms.catalog`),
+* logical query descriptors (:mod:`repro.dbms.query`),
+* physical plan operators and their resource usage (:mod:`repro.dbms.plans`),
+* a planner that chooses plans under a given cost model
+  (:mod:`repro.dbms.planner`),
+* two concrete engines modelled after the paper's targets — PostgreSQL
+  (:mod:`repro.dbms.postgres`) and DB2 (:mod:`repro.dbms.db2`) — each with
+  its own optimizer parameters and cost units, and
+* a ground-truth execution model (:mod:`repro.dbms.execution`) that produces
+  the "actual" run times observed when a workload executes inside a VM.
+"""
+
+from .catalog import Column, Database, Index, Table
+from .interface import DatabaseEngine, EngineConfiguration
+from .plans import PlanNode, ResourceUsage
+from .query import AggregateSpec, JoinStep, QuerySpec, TableAccess, UpdateProfile
+
+__all__ = [
+    "AggregateSpec",
+    "Column",
+    "Database",
+    "DatabaseEngine",
+    "EngineConfiguration",
+    "Index",
+    "JoinStep",
+    "PlanNode",
+    "QuerySpec",
+    "ResourceUsage",
+    "Table",
+    "TableAccess",
+    "UpdateProfile",
+]

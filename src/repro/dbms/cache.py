@@ -1,0 +1,58 @@
+"""Buffer cache models.
+
+Both the optimizer cost models and the ground-truth execution model start
+from the same logical page-read counts (see
+:class:`repro.dbms.plans.ResourceUsage`) and then decide how many of those
+reads actually reach the disk.  They use the same simple cache model but feed
+it different cache sizes:
+
+* the optimizer uses the cache size implied by its configuration parameters
+  (``shared_buffers``/``effective_cache_size`` for PostgreSQL, ``bufferpool``
+  for DB2), and
+* the executor uses the memory the VM actually has.
+
+The model assumes a warm cache — the paper's measurement methodology runs
+every workload against a warm database cache — so a working set that fits in
+the cache performs no reads at all, and a working set that does not fit
+misses with probability proportional to how much of it exceeds the cache.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+
+
+def miss_fraction(working_set_pages: float, cache_pages: float) -> float:
+    """Fraction of page requests expected to miss a warm cache.
+
+    Args:
+        working_set_pages: distinct pages the query touches.
+        cache_pages: pages the cache can hold.
+
+    Returns:
+        A value in ``[0, 1]``: 0 when the working set fits, approaching 1 as
+        the working set dwarfs the cache.
+    """
+    if working_set_pages < 0 or cache_pages < 0:
+        raise ConfigurationError("page counts must not be negative")
+    if working_set_pages <= 0.0:
+        return 0.0
+    if cache_pages >= working_set_pages:
+        return 0.0
+    return 1.0 - cache_pages / working_set_pages
+
+
+def effective_page_reads(
+    logical_reads: float,
+    working_set_pages: float,
+    cache_pages: float,
+) -> float:
+    """Expected physical page reads for ``logical_reads`` requests.
+
+    Every logical request misses with the working-set miss fraction.  The
+    result is never larger than the number of logical requests and never
+    negative.
+    """
+    if logical_reads < 0:
+        raise ConfigurationError("logical_reads must not be negative")
+    return logical_reads * miss_fraction(working_set_pages, cache_pages)

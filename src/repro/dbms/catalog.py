@@ -1,0 +1,290 @@
+"""Catalog and statistics for the simulated database engines.
+
+The optimizer cost models only need coarse statistics: row counts, row
+widths, page counts, and index shapes.  The catalog mirrors what a real
+system keeps in its statistics views and is sufficient to reproduce the
+plan-choice behaviour the paper relies on (sequential versus index access,
+hash-join build sizes, sort input sizes, buffer-pool working sets).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from ..units import DEFAULT_PAGE_SIZE, MB
+
+#: Fraction of each page usable for tuples (accounts for page headers and
+#: fill factor); identical for both engines to keep comparisons fair.
+_PAGE_FILL_FACTOR = 0.85
+
+#: Bytes per index entry in addition to the key itself (tuple pointer etc.).
+_INDEX_ENTRY_OVERHEAD = 12
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column of a table.
+
+    Attributes:
+        name: column name.
+        width_bytes: average stored width of the column.
+        distinct_values: number of distinct values (used for group-by and
+            join cardinality sanity checks).
+    """
+
+    name: str
+    width_bytes: int = 8
+    distinct_values: int = 1000
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("column name must be non-empty")
+        if self.width_bytes <= 0:
+            raise ConfigurationError("column width_bytes must be positive")
+        if self.distinct_values <= 0:
+            raise ConfigurationError("column distinct_values must be positive")
+
+
+@dataclass(frozen=True)
+class Table:
+    """A base table with its statistics.
+
+    Attributes:
+        name: table name.
+        row_count: number of rows.
+        row_width_bytes: average row width.
+        columns: optional column-level statistics.
+        page_size: page size in bytes.
+    """
+
+    name: str
+    row_count: float
+    row_width_bytes: int
+    columns: Tuple[Column, ...] = ()
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("table name must be non-empty")
+        if self.row_count < 0:
+            raise ConfigurationError("table row_count must not be negative")
+        if self.row_width_bytes <= 0:
+            raise ConfigurationError("table row_width_bytes must be positive")
+        if self.page_size <= 0:
+            raise ConfigurationError("table page_size must be positive")
+
+    @property
+    def rows_per_page(self) -> float:
+        """Average number of rows stored on one page."""
+        usable = self.page_size * _PAGE_FILL_FACTOR
+        return max(1.0, usable / self.row_width_bytes)
+
+    @property
+    def pages(self) -> float:
+        """Number of data pages occupied by the table."""
+        if self.row_count == 0:
+            return 1.0
+        return max(1.0, math.ceil(self.row_count / self.rows_per_page))
+
+    @property
+    def size_bytes(self) -> float:
+        """Approximate on-disk size of the table in bytes."""
+        return self.pages * self.page_size
+
+    @property
+    def size_mb(self) -> float:
+        """Approximate on-disk size of the table in megabytes."""
+        return self.size_bytes / MB
+
+    def column(self, name: str) -> Column:
+        """Return column statistics by name."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise ConfigurationError(f"table {self.name!r} has no column {name!r}")
+
+
+@dataclass(frozen=True)
+class Index:
+    """A B-tree index over one table.
+
+    Attributes:
+        name: index name.
+        table: name of the indexed table.
+        key_width_bytes: total width of the key columns.
+        unique: whether the index enforces uniqueness.
+        clustered: whether the heap is clustered on this index (clustered
+            indexes make range fetches mostly sequential).
+    """
+
+    name: str
+    table: str
+    key_width_bytes: int = 8
+    unique: bool = False
+    clustered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("index name must be non-empty")
+        if not self.table:
+            raise ConfigurationError("index table must be non-empty")
+        if self.key_width_bytes <= 0:
+            raise ConfigurationError("index key_width_bytes must be positive")
+
+    def leaf_pages(self, table: Table) -> float:
+        """Number of leaf pages in the index for the given table."""
+        entry_width = self.key_width_bytes + _INDEX_ENTRY_OVERHEAD
+        entries_per_page = max(
+            1.0, table.page_size * _PAGE_FILL_FACTOR / entry_width
+        )
+        if table.row_count == 0:
+            return 1.0
+        return max(1.0, math.ceil(table.row_count / entries_per_page))
+
+    def height(self, table: Table) -> int:
+        """Height of the B-tree (number of non-leaf levels traversed)."""
+        leaves = self.leaf_pages(table)
+        entry_width = self.key_width_bytes + _INDEX_ENTRY_OVERHEAD
+        fanout = max(2.0, table.page_size * _PAGE_FILL_FACTOR / entry_width)
+        height = 1
+        pages = leaves
+        while pages > 1.0:
+            pages = math.ceil(pages / fanout)
+            height += 1
+        return height
+
+
+class Database:
+    """A named collection of tables and indexes with their statistics."""
+
+    def __init__(self, name: str, page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        if not name:
+            raise ConfigurationError("database name must be non-empty")
+        if page_size <= 0:
+            raise ConfigurationError("page_size must be positive")
+        self.name = name
+        self.page_size = page_size
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[str, Index] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> Table:
+        """Register a table; replaces any previous definition of the same name."""
+        self._tables[table.name] = table
+        return table
+
+    def add_index(self, index: Index) -> Index:
+        """Register an index; its table must already exist."""
+        if index.table not in self._tables:
+            raise ConfigurationError(
+                f"cannot index unknown table {index.table!r} in database {self.name!r}"
+            )
+        self._indexes[index.name] = index
+        return index
+
+    def create_table(
+        self,
+        name: str,
+        row_count: float,
+        row_width_bytes: int,
+        columns: Optional[List[Column]] = None,
+    ) -> Table:
+        """Convenience constructor that builds and registers a table."""
+        table = Table(
+            name=name,
+            row_count=row_count,
+            row_width_bytes=row_width_bytes,
+            columns=tuple(columns or ()),
+            page_size=self.page_size,
+        )
+        return self.add_table(table)
+
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        key_width_bytes: int = 8,
+        unique: bool = False,
+        clustered: bool = False,
+    ) -> Index:
+        """Convenience constructor that builds and registers an index."""
+        index = Index(
+            name=name,
+            table=table,
+            key_width_bytes=key_width_bytes,
+            unique=unique,
+            clustered=clustered,
+        )
+        return self.add_index(index)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        """Return the table with the given name."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"database {self.name!r} has no table {name!r}"
+            ) from None
+
+    def index(self, name: str) -> Index:
+        """Return the index with the given name."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"database {self.name!r} has no index {name!r}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with the given name exists."""
+        return name in self._tables
+
+    def has_index(self, name: str) -> bool:
+        """Whether an index with the given name exists."""
+        return name in self._indexes
+
+    def indexes_on(self, table: str) -> List[Index]:
+        """All indexes defined on the named table."""
+        return [index for index in self._indexes.values() if index.table == table]
+
+    @property
+    def tables(self) -> List[Table]:
+        """All registered tables."""
+        return list(self._tables.values())
+
+    @property
+    def indexes(self) -> List[Index]:
+        """All registered indexes."""
+        return list(self._indexes.values())
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_pages(self) -> float:
+        """Total data pages across tables and index leaves."""
+        pages = sum(table.pages for table in self._tables.values())
+        pages += sum(
+            index.leaf_pages(self._tables[index.table])
+            for index in self._indexes.values()
+        )
+        return pages
+
+    @property
+    def total_size_mb(self) -> float:
+        """Total approximate size of the database on disk in megabytes."""
+        return self.total_pages * self.page_size / MB
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Database(name={self.name!r}, tables={len(self._tables)}, "
+            f"indexes={len(self._indexes)}, size={self.total_size_mb:.0f}MB)"
+        )

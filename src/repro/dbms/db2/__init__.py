@@ -1,0 +1,19 @@
+"""DB2-style engine simulator.
+
+Implements the optimizer configuration parameters of Table III of the paper
+(``cpuspeed``, ``overhead``, ``transfer_rate``, ``sortheap``,
+``bufferpool``), a cost model expressed in timerons (DB2's synthetic cost
+unit), and the DB2 memory-sizing policy used in the paper's experiments.
+"""
+
+from .cost_model import DB2CostModel, TIMERON_MILLISECONDS
+from .engine import DB2Engine
+from .params import DB2Parameters, DEFAULT_DB2_PARAMETERS
+
+__all__ = [
+    "DB2CostModel",
+    "DB2Engine",
+    "DB2Parameters",
+    "DEFAULT_DB2_PARAMETERS",
+    "TIMERON_MILLISECONDS",
+]

@@ -1,0 +1,72 @@
+"""DB2-style optimizer cost model.
+
+DB2 expresses plan costs in *timerons*, "a synthetic unit of measure" that
+gives a relative estimate of the resources needed to execute a plan.  The
+simulator's timeron is a fixed (but, from the advisor's point of view,
+unknown) number of milliseconds of resource usage: the renormalization
+procedure of Section 4.2 recovers the seconds-per-timeron factor with a
+linear regression over calibration queries, without ever being told
+:data:`TIMERON_MILLISECONDS`.
+"""
+
+from __future__ import annotations
+
+from ...units import DEFAULT_PAGE_SIZE
+from ..execution import (
+    CPU_WORK_PER_INDEX_TUPLE,
+    CPU_WORK_PER_OPERATOR,
+    CPU_WORK_PER_TUPLE,
+)
+from ..interface import EngineCostModel
+from ..plans import ResourceUsage
+from .params import DB2Parameters
+
+#: Internal definition of one timeron, in milliseconds of resource usage.
+TIMERON_MILLISECONDS = 0.4
+
+#: Fraction of the true sort-spill I/O that the optimizer's cost model
+#: accounts for.  DB2's optimizer underestimates the performance impact of
+#: an undersized sort heap (and therefore the benefit of a larger one); this
+#: is the modeling error the paper's Section 7.9 experiment corrects with
+#: online refinement.
+SORT_SPILL_MODELING_FACTOR = 0.15
+
+
+class DB2CostModel(EngineCostModel):
+    """Cost model parameterized by :class:`DB2Parameters`."""
+
+    def __init__(
+        self,
+        parameters: DB2Parameters,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        super().__init__(page_size=page_size)
+        self.parameters = parameters
+
+    @property
+    def cache_mb(self) -> float:
+        return self.parameters.cache_mb
+
+    def resource_milliseconds(self, usage: ResourceUsage) -> float:
+        """Estimated resource consumption of a plan, in milliseconds."""
+        params = self.parameters
+        instructions = (
+            usage.tuples * CPU_WORK_PER_TUPLE
+            + usage.index_tuples * CPU_WORK_PER_INDEX_TUPLE
+            + usage.operator_evals * CPU_WORK_PER_OPERATOR
+        )
+        cpu_ms = instructions * params.cpuspeed_ms
+        io_ms = (
+            usage.random_pages * (params.overhead_ms + params.transfer_rate_ms)
+            + usage.seq_pages * params.transfer_rate_ms
+            + usage.pages_written * params.transfer_rate_ms
+            + usage.sort_spill_pages
+            * 2.0
+            * params.transfer_rate_ms
+            * SORT_SPILL_MODELING_FACTOR
+        )
+        return cpu_ms + io_ms
+
+    def plan_cost(self, usage: ResourceUsage) -> float:
+        """Plan cost in timerons."""
+        return self.resource_milliseconds(usage) / TIMERON_MILLISECONDS

@@ -1,0 +1,48 @@
+"""DB2 engine simulator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...virt.vm import VMEnvironment
+from ...units import seconds_to_ms
+from ..catalog import Database
+from ..interface import DatabaseEngine
+from ..memory import DB2MemoryPolicy, MemoryPolicy
+from .cost_model import DB2CostModel
+from .params import DB2Parameters
+
+
+class DB2Engine(DatabaseEngine):
+    """A simulated DB2 instance bound to one database."""
+
+    name = "db2"
+    native_unit = "timerons"
+    cpu_efficiency = 0.95
+
+    def __init__(
+        self,
+        database: Database,
+        memory_policy: Optional[MemoryPolicy] = None,
+    ) -> None:
+        super().__init__(
+            database=database,
+            memory_policy=memory_policy or DB2MemoryPolicy(),
+        )
+
+    def true_configuration(self, env: VMEnvironment) -> DB2Parameters:
+        """Parameters a perfectly calibrated installation would use in ``env``."""
+        memory = self.memory_configuration(env.dbms_memory_mb)
+        seconds_per_unit = self.seconds_per_work_unit(env)
+        return DB2Parameters(
+            cpuspeed_ms=seconds_to_ms(seconds_per_unit),
+            overhead_ms=seconds_to_ms(
+                max(1e-9, env.random_page_seconds - env.seq_page_seconds)
+            ),
+            transfer_rate_ms=seconds_to_ms(env.seq_page_seconds),
+            bufferpool_mb=memory.buffer_pool_mb,
+            sortheap_mb=memory.work_mem_mb,
+        )
+
+    def make_cost_model(self, configuration: DB2Parameters) -> DB2CostModel:
+        return DB2CostModel(configuration, page_size=self.database.page_size)

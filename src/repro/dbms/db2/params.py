@@ -1,0 +1,66 @@
+"""DB2 optimizer configuration parameters (Table III of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ...exceptions import ConfigurationError
+from ..interface import EngineConfiguration
+
+
+@dataclass(frozen=True)
+class DB2Parameters(EngineConfiguration):
+    """The DB2 optimizer parameter vector.
+
+    Descriptive parameters (characterise the environment):
+
+    * ``cpuspeed_ms`` — CPU speed in milliseconds per abstract instruction.
+    * ``overhead_ms`` — overhead of a single random I/O, in milliseconds.
+    * ``transfer_rate_ms`` — time to read one data page, in milliseconds.
+
+    Prescriptive parameters (configure the DBMS itself):
+
+    * ``bufferpool_mb`` — buffer pool size.
+    * ``sortheap_mb`` — memory available to sorting/hashing operators.
+    """
+
+    cpuspeed_ms: float = 5.0e-4
+    overhead_ms: float = 6.0
+    transfer_rate_ms: float = 0.1
+    bufferpool_mb: float = 190.0
+    sortheap_mb: float = 40.0
+
+    def __post_init__(self) -> None:
+        for name in ("cpuspeed_ms", "overhead_ms", "transfer_rate_ms", "sortheap_mb"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.bufferpool_mb < 0:
+            raise ConfigurationError("bufferpool_mb must not be negative")
+
+    @property
+    def work_mem_mb(self) -> float:
+        """Memory available to each sort/hash operator."""
+        return self.sortheap_mb
+
+    @property
+    def cache_mb(self) -> float:
+        """Cache size the optimizer assumes when costing page reads."""
+        return self.bufferpool_mb
+
+    def with_memory(self, bufferpool_mb: float, sortheap_mb: float) -> "DB2Parameters":
+        """Return a copy with the prescriptive memory settings replaced."""
+        return replace(self, bufferpool_mb=bufferpool_mb, sortheap_mb=sortheap_mb)
+
+    def with_cpuspeed(self, cpuspeed_ms: float) -> "DB2Parameters":
+        """Return a copy with the CPU speed replaced."""
+        return replace(self, cpuspeed_ms=cpuspeed_ms)
+
+    def with_io_costs(
+        self, overhead_ms: float, transfer_rate_ms: float
+    ) -> "DB2Parameters":
+        """Return a copy with the I/O descriptive parameters replaced."""
+        return replace(self, overhead_ms=overhead_ms, transfer_rate_ms=transfer_rate_ms)
+
+
+#: Stock DB2 defaults; used as the uncalibrated baseline.
+DEFAULT_DB2_PARAMETERS = DB2Parameters()

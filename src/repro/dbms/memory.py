@@ -1,0 +1,174 @@
+"""Memory configuration policies.
+
+The paper distinguishes *prescriptive* optimizer parameters — those that
+actually configure the DBMS, such as the PostgreSQL ``shared_buffers`` and
+``work_mem`` or the DB2 ``bufferpool`` and ``sortheap`` — from *descriptive*
+parameters that merely characterise the execution environment.  Prescriptive
+parameters must follow whatever policy the administrator uses to size the
+DBMS for its virtual machine, and the calibration procedure has to mimic
+that policy (Section 4.3).
+
+This module implements those policies.  The defaults are the ones used in
+the paper's experiments:
+
+* PostgreSQL: ``shared_buffers`` = 10/16 of the VM's memory, ``work_mem`` =
+  5 MB regardless of the VM's memory.
+* DB2: ``bufferpool`` = 70% of the free memory, the remainder to
+  ``sortheap``.
+
+Both policies also support the "fixed" variants the paper uses for its
+CPU-only experiments (e.g. PostgreSQL with 32 MB of shared buffers, DB2 with
+a 190 MB buffer pool and a 40 MB sort heap).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from ..units import validate_non_negative, validate_positive
+
+
+@dataclass(frozen=True)
+class MemoryConfiguration:
+    """Concrete memory settings of a DBMS instance inside a VM.
+
+    Attributes:
+        buffer_pool_mb: memory dedicated to caching data pages.
+        work_mem_mb: memory available to each sort/hash operator.
+        os_cache_mb: memory the operating system can use for its file cache
+            (whatever the DBMS did not claim); contributes to the *actual*
+            caching seen at run time but is typically invisible to the
+            optimizer.
+    """
+
+    buffer_pool_mb: float
+    work_mem_mb: float
+    os_cache_mb: float = 0.0
+
+    def __post_init__(self) -> None:
+        validate_non_negative(self.buffer_pool_mb, "buffer_pool_mb")
+        validate_positive(self.work_mem_mb, "work_mem_mb")
+        validate_non_negative(self.os_cache_mb, "os_cache_mb")
+
+    @property
+    def total_cache_mb(self) -> float:
+        """Total memory that can hold data pages at run time."""
+        return self.buffer_pool_mb + self.os_cache_mb
+
+
+class MemoryPolicy(ABC):
+    """Maps the memory available to a DBMS to its memory configuration."""
+
+    @abstractmethod
+    def configure(self, dbms_memory_mb: float) -> MemoryConfiguration:
+        """Return the memory configuration for ``dbms_memory_mb`` of memory."""
+
+    def __call__(self, dbms_memory_mb: float) -> MemoryConfiguration:
+        return self.configure(dbms_memory_mb)
+
+
+class PostgresMemoryPolicy(MemoryPolicy):
+    """PostgreSQL memory sizing policy.
+
+    By default, ``shared_buffers`` is 10/16 of the available memory and
+    ``work_mem`` stays at 5 MB regardless of the allocation, mirroring the
+    paper's PostgreSQL setup.  A fixed shared-buffer size can be supplied for
+    experiments that hold memory constant.
+    """
+
+    def __init__(
+        self,
+        shared_buffers_fraction: float = 10.0 / 16.0,
+        work_mem_mb: float = 5.0,
+        fixed_shared_buffers_mb: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < shared_buffers_fraction <= 1.0:
+            raise ConfigurationError(
+                "shared_buffers_fraction must be in (0, 1], got "
+                f"{shared_buffers_fraction}"
+            )
+        self.shared_buffers_fraction = shared_buffers_fraction
+        self.work_mem_mb = validate_positive(work_mem_mb, "work_mem_mb")
+        if fixed_shared_buffers_mb is not None:
+            fixed_shared_buffers_mb = validate_positive(
+                fixed_shared_buffers_mb, "fixed_shared_buffers_mb"
+            )
+        self.fixed_shared_buffers_mb = fixed_shared_buffers_mb
+
+    def configure(self, dbms_memory_mb: float) -> MemoryConfiguration:
+        dbms_memory_mb = max(0.0, float(dbms_memory_mb))
+        if self.fixed_shared_buffers_mb is not None:
+            buffer_pool = min(self.fixed_shared_buffers_mb, dbms_memory_mb)
+        else:
+            buffer_pool = dbms_memory_mb * self.shared_buffers_fraction
+        os_cache = max(0.0, dbms_memory_mb - buffer_pool - self.work_mem_mb)
+        return MemoryConfiguration(
+            buffer_pool_mb=buffer_pool,
+            work_mem_mb=self.work_mem_mb,
+            os_cache_mb=os_cache,
+        )
+
+
+class DB2MemoryPolicy(MemoryPolicy):
+    """DB2 memory sizing policy.
+
+    By default, 70% of the available memory goes to the buffer pool and the
+    remainder to the sort heap, as in the paper's experiments.  Fixed sizes
+    can be supplied for the CPU-only experiments (190 MB buffer pool, 40 MB
+    sort heap).
+    """
+
+    def __init__(
+        self,
+        bufferpool_fraction: float = 0.7,
+        fixed_bufferpool_mb: Optional[float] = None,
+        fixed_sortheap_mb: Optional[float] = None,
+        min_sortheap_mb: float = 4.0,
+    ) -> None:
+        if not 0.0 < bufferpool_fraction < 1.0:
+            raise ConfigurationError(
+                f"bufferpool_fraction must be in (0, 1), got {bufferpool_fraction}"
+            )
+        self.bufferpool_fraction = bufferpool_fraction
+        self.fixed_bufferpool_mb = fixed_bufferpool_mb
+        self.fixed_sortheap_mb = fixed_sortheap_mb
+        self.min_sortheap_mb = validate_positive(min_sortheap_mb, "min_sortheap_mb")
+
+    def configure(self, dbms_memory_mb: float) -> MemoryConfiguration:
+        dbms_memory_mb = max(0.0, float(dbms_memory_mb))
+        if self.fixed_bufferpool_mb is not None:
+            buffer_pool = min(self.fixed_bufferpool_mb, dbms_memory_mb)
+        else:
+            buffer_pool = dbms_memory_mb * self.bufferpool_fraction
+        if self.fixed_sortheap_mb is not None:
+            sortheap = self.fixed_sortheap_mb
+        else:
+            sortheap = max(self.min_sortheap_mb, dbms_memory_mb - buffer_pool)
+        os_cache = max(0.0, dbms_memory_mb - buffer_pool - sortheap)
+        return MemoryConfiguration(
+            buffer_pool_mb=buffer_pool,
+            work_mem_mb=sortheap,
+            os_cache_mb=os_cache,
+        )
+
+
+class FixedMemoryPolicy(MemoryPolicy):
+    """A policy that returns the same configuration regardless of memory.
+
+    Useful in tests and in the CPU-only experiments where the paper holds
+    the DBMS memory configuration constant.
+    """
+
+    def __init__(self, buffer_pool_mb: float, work_mem_mb: float,
+                 os_cache_mb: float = 0.0) -> None:
+        self._configuration = MemoryConfiguration(
+            buffer_pool_mb=buffer_pool_mb,
+            work_mem_mb=work_mem_mb,
+            os_cache_mb=os_cache_mb,
+        )
+
+    def configure(self, dbms_memory_mb: float) -> MemoryConfiguration:
+        return self._configuration

@@ -1,0 +1,166 @@
+"""Cost-based query planner shared by the engine simulators.
+
+The planner builds a left-deep physical plan for a :class:`QuerySpec`,
+choosing among the access and join alternatives with whatever cost model the
+calling engine supplies.  Because the choices depend on the cost model's
+parameters — in particular the sort/hash memory and the cache size — the
+*same* logical query gets different plans under different candidate resource
+allocations, which is exactly the behaviour the paper's piecewise-linear
+memory model captures (plan boundaries define the ``A_ij`` intervals of
+Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from ..exceptions import OptimizationError
+from .catalog import Database
+from .plans import (
+    HashAggregateNode,
+    HashJoinNode,
+    IndexScanNode,
+    NestedLoopJoinNode,
+    PlanBuildContext,
+    PlanNode,
+    QueryPlan,
+    ResultNode,
+    SeqScanNode,
+    SortAggregateNode,
+    SortMergeJoinNode,
+    SortNode,
+    UpdateNode,
+)
+from .query import JoinStep, QuerySpec, TableAccess
+
+
+class PlanCostModel(Protocol):
+    """Minimal interface the planner needs from an engine cost model."""
+
+    def plan_cost(self, usage) -> float:  # pragma: no cover - protocol
+        """Return the engine-native cost of a plan's resource usage."""
+        ...
+
+
+#: Nested-loop joins are only considered when the inner input is small;
+#: this mirrors real optimizers' pruning and keeps planning fast.
+_NESTED_LOOP_INNER_ROW_LIMIT = 50_000.0
+
+
+class Planner:
+    """Builds physical plans for logical queries under a cost model."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def build_plan(
+        self,
+        query: QuerySpec,
+        context: PlanBuildContext,
+        cost_model: PlanCostModel,
+    ) -> QueryPlan:
+        """Return the cheapest plan for ``query`` under ``cost_model``."""
+        if query.database != self.database.name:
+            raise OptimizationError(
+                f"query {query.name!r} targets database {query.database!r} but the "
+                f"planner is bound to {self.database.name!r}"
+            )
+        node = self._best_access(query.driver, context, cost_model)
+        for step in query.joins:
+            node = self._best_join(node, step, context, cost_model)
+        if query.aggregate is not None:
+            node = self._best_aggregate(node, query, context, cost_model)
+        if query.order_by:
+            node = SortNode(node, context)
+        root: PlanNode = ResultNode(node, query.result_rows)
+        if query.update is not None and not query.update.is_read_only:
+            root = UpdateNode(root, query.update, context)
+        return QueryPlan(query=query, root=root, context=context)
+
+    # ------------------------------------------------------------------
+    # Alternatives
+    # ------------------------------------------------------------------
+    def access_alternatives(
+        self, access: TableAccess, context: PlanBuildContext
+    ) -> List[PlanNode]:
+        """All physical access paths available for a base-table access."""
+        alternatives: List[PlanNode] = [SeqScanNode(access, context)]
+        if access.index is not None and self.database.has_index(access.index):
+            alternatives.append(IndexScanNode(access, context))
+        return alternatives
+
+    def join_alternatives(
+        self,
+        outer: PlanNode,
+        step: JoinStep,
+        context: PlanBuildContext,
+        cost_model: PlanCostModel,
+    ) -> List[PlanNode]:
+        """All physical join alternatives for one join step."""
+        inner = self._best_access(step.access, context, cost_model)
+        alternatives: List[PlanNode] = [
+            HashJoinNode(outer, inner, step.selectivity, step.join_predicates, context),
+            SortMergeJoinNode(
+                outer, inner, step.selectivity, step.join_predicates, context
+            ),
+        ]
+        if inner.rows <= _NESTED_LOOP_INNER_ROW_LIMIT:
+            alternatives.append(
+                NestedLoopJoinNode(
+                    outer, inner, step.selectivity, step.join_predicates, context
+                )
+            )
+        return alternatives
+
+    # ------------------------------------------------------------------
+    # Choice helpers
+    # ------------------------------------------------------------------
+    def _best_access(
+        self,
+        access: TableAccess,
+        context: PlanBuildContext,
+        cost_model: PlanCostModel,
+    ) -> PlanNode:
+        return self._cheapest(self.access_alternatives(access, context), cost_model)
+
+    def _best_join(
+        self,
+        outer: PlanNode,
+        step: JoinStep,
+        context: PlanBuildContext,
+        cost_model: PlanCostModel,
+    ) -> PlanNode:
+        return self._cheapest(
+            self.join_alternatives(outer, step, context, cost_model), cost_model
+        )
+
+    def _best_aggregate(
+        self,
+        node: PlanNode,
+        query: QuerySpec,
+        context: PlanBuildContext,
+        cost_model: PlanCostModel,
+    ) -> PlanNode:
+        spec = query.aggregate
+        assert spec is not None  # caller checks
+        alternatives: List[PlanNode] = [SortAggregateNode(node, spec, context)]
+        if HashAggregateNode.fits_in_memory(node, spec, context):
+            alternatives.append(HashAggregateNode(node, spec, context))
+        return self._cheapest(alternatives, cost_model)
+
+    @staticmethod
+    def _cheapest(alternatives: Sequence[PlanNode], cost_model: PlanCostModel) -> PlanNode:
+        if not alternatives:
+            raise OptimizationError("no plan alternatives were generated")
+        best: Optional[PlanNode] = None
+        best_cost = float("inf")
+        for node in alternatives:
+            cost = cost_model.plan_cost(node.total_usage())
+            if cost < best_cost:
+                best = node
+                best_cost = cost
+        assert best is not None
+        return best

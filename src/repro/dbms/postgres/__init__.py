@@ -1,0 +1,20 @@
+"""PostgreSQL-style engine simulator.
+
+Implements the optimizer configuration parameters of Table II of the paper
+(``random_page_cost``, ``cpu_tuple_cost``, ``cpu_operator_cost``,
+``cpu_index_tuple_cost``, ``shared_buffers``, ``work_mem``,
+``effective_cache_size``), a cost model expressed in units of one sequential
+page read, and the PostgreSQL memory-sizing policy used in the paper's
+experiments.
+"""
+
+from .cost_model import PostgreSQLCostModel
+from .engine import PostgreSQLEngine
+from .params import DEFAULT_POSTGRESQL_PARAMETERS, PostgreSQLParameters
+
+__all__ = [
+    "DEFAULT_POSTGRESQL_PARAMETERS",
+    "PostgreSQLCostModel",
+    "PostgreSQLEngine",
+    "PostgreSQLParameters",
+]

@@ -1,0 +1,48 @@
+"""PostgreSQL-style optimizer cost model.
+
+Costs are expressed in units of one sequential page read (``seq_page_cost``
+is the unit).  The model weights the plan's logical resource usage — whose
+page-read counts already reflect the cache assumption the plan was built
+with (``effective_cache_size``/``shared_buffers``) — with the configuration
+parameters.  Result-row delivery is intentionally not costed, exactly as in
+the real system (see the footnote to Section 4.3 of the paper).
+"""
+
+from __future__ import annotations
+
+from ...units import DEFAULT_PAGE_SIZE
+from ..interface import EngineCostModel
+from ..plans import ResourceUsage
+from .params import PostgreSQLParameters
+
+
+class PostgreSQLCostModel(EngineCostModel):
+    """Cost model parameterized by :class:`PostgreSQLParameters`."""
+
+    def __init__(
+        self,
+        parameters: PostgreSQLParameters,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> None:
+        super().__init__(page_size=page_size)
+        self.parameters = parameters
+
+    @property
+    def cache_mb(self) -> float:
+        return self.parameters.cache_mb
+
+    def plan_cost(self, usage: ResourceUsage) -> float:
+        params = self.parameters
+        io_cost = (
+            usage.seq_pages * params.seq_page_cost
+            + usage.random_pages * params.random_page_cost
+            + usage.pages_written * params.seq_page_cost
+            # Sort spill runs are written once and read back once.
+            + usage.sort_spill_pages * 2.0 * params.seq_page_cost
+        )
+        cpu_cost = (
+            usage.tuples * params.cpu_tuple_cost
+            + usage.index_tuples * params.cpu_index_tuple_cost
+            + usage.operator_evals * params.cpu_operator_cost
+        )
+        return io_cost + cpu_cost

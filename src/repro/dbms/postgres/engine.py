@@ -1,0 +1,63 @@
+"""PostgreSQL engine simulator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...virt.vm import VMEnvironment
+from ..catalog import Database
+from ..execution import (
+    CPU_WORK_PER_INDEX_TUPLE,
+    CPU_WORK_PER_OPERATOR,
+    CPU_WORK_PER_TUPLE,
+)
+from ..interface import DatabaseEngine
+from ..memory import MemoryPolicy, PostgresMemoryPolicy
+from .cost_model import PostgreSQLCostModel
+from .params import PostgreSQLParameters
+
+
+class PostgreSQLEngine(DatabaseEngine):
+    """A simulated PostgreSQL instance bound to one database.
+
+    The engine's runtime is slightly less CPU-efficient than the nominal
+    machine rate (``cpu_efficiency`` > 1), which is one of the reasons the
+    two engines need separately calibrated cost models — a point the paper's
+    motivating example (Figure 2) relies on.
+    """
+
+    name = "postgresql"
+    native_unit = "seq-page-read units"
+    cpu_efficiency = 1.15
+
+    def __init__(
+        self,
+        database: Database,
+        memory_policy: Optional[MemoryPolicy] = None,
+    ) -> None:
+        super().__init__(
+            database=database,
+            memory_policy=memory_policy or PostgresMemoryPolicy(),
+        )
+
+    def true_configuration(self, env: VMEnvironment) -> PostgreSQLParameters:
+        """Parameters a perfectly calibrated installation would use in ``env``."""
+        memory = self.memory_configuration(env.dbms_memory_mb)
+        seconds_per_unit = self.seconds_per_work_unit(env)
+        seq_page_seconds = env.seq_page_seconds
+        return PostgreSQLParameters(
+            random_page_cost=env.random_page_seconds / seq_page_seconds,
+            cpu_tuple_cost=CPU_WORK_PER_TUPLE * seconds_per_unit / seq_page_seconds,
+            cpu_operator_cost=(
+                CPU_WORK_PER_OPERATOR * seconds_per_unit / seq_page_seconds
+            ),
+            cpu_index_tuple_cost=(
+                CPU_WORK_PER_INDEX_TUPLE * seconds_per_unit / seq_page_seconds
+            ),
+            shared_buffers_mb=memory.buffer_pool_mb,
+            work_mem_mb=memory.work_mem_mb,
+            effective_cache_size_mb=memory.total_cache_mb,
+        )
+
+    def make_cost_model(self, configuration: PostgreSQLParameters) -> PostgreSQLCostModel:
+        return PostgreSQLCostModel(configuration, page_size=self.database.page_size)

@@ -1,0 +1,96 @@
+"""PostgreSQL optimizer configuration parameters (Table II of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ...exceptions import ConfigurationError
+from ..interface import EngineConfiguration
+
+
+@dataclass(frozen=True)
+class PostgreSQLParameters(EngineConfiguration):
+    """The PostgreSQL optimizer parameter vector.
+
+    Descriptive parameters (characterise the environment):
+
+    * ``random_page_cost`` — cost of a non-sequential page read, in units of
+      one sequential page read.
+    * ``cpu_tuple_cost`` — CPU cost of processing one tuple.
+    * ``cpu_operator_cost`` — per-tuple CPU cost of each predicate/operator.
+    * ``cpu_index_tuple_cost`` — CPU cost of processing one index entry.
+    * ``effective_cache_size_mb`` — file-system cache the planner assumes.
+
+    Prescriptive parameters (configure the DBMS itself):
+
+    * ``shared_buffers_mb`` — buffer pool size.
+    * ``work_mem_mb`` — memory for each sorting/hashing operator.
+
+    ``seq_page_cost`` is fixed at 1.0: PostgreSQL normalizes every cost to
+    the cost of a single sequential page read, which is also why the
+    renormalization factor for PostgreSQL is simply the measured seconds per
+    sequential page read (Section 4.2).
+    """
+
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_operator_cost: float = 0.0025
+    cpu_index_tuple_cost: float = 0.005
+    shared_buffers_mb: float = 32.0
+    work_mem_mb: float = 5.0
+    effective_cache_size_mb: float = 128.0
+    seq_page_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "random_page_cost",
+            "cpu_tuple_cost",
+            "cpu_operator_cost",
+            "cpu_index_tuple_cost",
+            "work_mem_mb",
+            "seq_page_cost",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        for name in ("shared_buffers_mb", "effective_cache_size_mb"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must not be negative")
+
+    @property
+    def cache_mb(self) -> float:
+        """Cache size the planner assumes when costing page reads."""
+        return max(self.shared_buffers_mb, self.effective_cache_size_mb)
+
+    def with_memory(
+        self, shared_buffers_mb: float, work_mem_mb: float,
+        effective_cache_size_mb: float,
+    ) -> "PostgreSQLParameters":
+        """Return a copy with the prescriptive memory settings replaced."""
+        return replace(
+            self,
+            shared_buffers_mb=shared_buffers_mb,
+            work_mem_mb=work_mem_mb,
+            effective_cache_size_mb=effective_cache_size_mb,
+        )
+
+    def with_cpu_costs(
+        self,
+        cpu_tuple_cost: float,
+        cpu_operator_cost: float,
+        cpu_index_tuple_cost: float,
+    ) -> "PostgreSQLParameters":
+        """Return a copy with the CPU-related descriptive parameters replaced."""
+        return replace(
+            self,
+            cpu_tuple_cost=cpu_tuple_cost,
+            cpu_operator_cost=cpu_operator_cost,
+            cpu_index_tuple_cost=cpu_index_tuple_cost,
+        )
+
+    def with_io_costs(self, random_page_cost: float) -> "PostgreSQLParameters":
+        """Return a copy with the I/O-related descriptive parameters replaced."""
+        return replace(self, random_page_cost=random_page_cost)
+
+
+#: Stock PostgreSQL 8.1 defaults; used as the uncalibrated baseline.
+DEFAULT_POSTGRESQL_PARAMETERS = PostgreSQLParameters()

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes when needed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid settings."""
+
+
+class AllocationError(ReproError):
+    """A resource allocation is infeasible or violates its constraints."""
+
+
+class CalibrationError(ReproError):
+    """The calibration procedure could not determine a parameter value."""
+
+
+class EstimationError(ReproError):
+    """The cost estimator could not produce an estimate for a workload."""
+
+
+class OptimizationError(ReproError):
+    """The query optimizer could not produce a plan for a query."""
+
+
+class ExecutionError(ReproError):
+    """The simulated execution of a workload failed."""
+
+
+class RefinementError(ReproError):
+    """Online refinement could not update a cost model."""
+
+
+class MonitoringError(ReproError):
+    """Run-time monitoring was given inconsistent observations."""
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed."""

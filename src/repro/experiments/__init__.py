@@ -1,0 +1,25 @@
+"""Experiment harness reproducing the paper's evaluation (Section 7).
+
+Each module corresponds to a group of figures:
+
+* :mod:`repro.experiments.calibration_figures` — Figure 2 (motivating
+  example), Figures 5–8 (calibration parameter behaviour), Figures 9–10
+  (objective function shape), and the Section 7.2 overhead report.
+* :mod:`repro.experiments.validation` — Figures 12–20 (controlled CPU,
+  memory, and QoS sensitivity experiments).
+* :mod:`repro.experiments.random_workloads` — Figures 21–27 (random
+  workloads, single- and multi-resource allocation, advisor vs. optimal).
+* :mod:`repro.experiments.refinement` — Figures 28–34 (online refinement).
+* :mod:`repro.experiments.dynamic` — Figures 35–36 (dynamic configuration
+  management).
+
+The :mod:`repro.experiments.harness` module provides the shared context
+(physical machine, calibrated engines, workload templates) and
+:mod:`repro.experiments.reporting` renders the result tables that the
+benchmark suite prints and ``EXPERIMENTS.md`` records.
+"""
+
+from .harness import ExperimentContext
+from .reporting import format_table, series_to_rows
+
+__all__ = ["ExperimentContext", "format_table", "series_to_rows"]

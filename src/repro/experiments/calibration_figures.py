@@ -1,0 +1,302 @@
+"""Scenarios for Figure 2, Figures 5–10, and the Section 7.2 overhead report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..calibration.calibrator import (
+    CalibrationReport,
+    CalibrationSettings,
+    measure_db2_cpu_parameters,
+    measure_postgresql_cpu_parameters,
+)
+from ..calibration.regression import fit_linear, r_squared
+from ..core.problem import ResourceAllocation
+from ..dbms.postgres import PostgreSQLEngine
+from ..workloads.workload import Workload, WorkloadStatement
+from .harness import ExperimentContext
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — motivating example
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MotivatingExampleResult:
+    """Default versus recommended configuration for the two-VM example."""
+
+    recommended_allocations: Tuple[ResourceAllocation, ...]
+    default_times: Tuple[float, float]
+    recommended_times: Tuple[float, float]
+    overall_improvement: float
+
+    @property
+    def postgres_change(self) -> float:
+        """Relative change of the PostgreSQL workload (negative = slower)."""
+        default, recommended = self.default_times[0], self.recommended_times[0]
+        return (default - recommended) / default
+
+    @property
+    def db2_change(self) -> float:
+        """Relative change of the DB2 workload (positive = faster)."""
+        default, recommended = self.default_times[1], self.recommended_times[1]
+        return (default - recommended) / default
+
+
+def motivating_example(
+    context: ExperimentContext, scale_factor: float = 10.0
+) -> MotivatingExampleResult:
+    """Reproduce Figure 2: PostgreSQL running Q17 vs DB2 running Q18.
+
+    The PostgreSQL workload is I/O intensive, so it loses little when CPU
+    and memory are shifted to the CPU-intensive DB2 workload, which improves
+    substantially.
+    """
+    pg_queries = context.queries("postgresql", "tpch", scale_factor)
+    db2_queries = context.queries("db2", "tpch", scale_factor)
+    pg_workload = Workload(
+        name="postgresql-q17",
+        statements=(WorkloadStatement(query=pg_queries["q17"], frequency=1.0),),
+    )
+    db2_workload = Workload(
+        name="db2-q18",
+        statements=(WorkloadStatement(query=db2_queries["q18"], frequency=1.0),),
+    )
+    problem = context.multi_resource_problem(
+        (
+            context.tenant(pg_workload, "postgresql", "tpch", scale_factor),
+            context.tenant(db2_workload, "db2", "tpch", scale_factor),
+        )
+    )
+    recommendation = context.recommend(problem)
+    actuals = context.actuals(problem)
+    default = problem.default_allocation()
+    default_times = (actuals.cost(0, default[0]), actuals.cost(1, default[1]))
+    recommended_times = (
+        actuals.cost(0, recommendation.allocations[0]),
+        actuals.cost(1, recommendation.allocations[1]),
+    )
+    improvement = context.measured_improvement(
+        problem, recommendation.allocations, actuals
+    )
+    return MotivatingExampleResult(
+        recommended_allocations=recommendation.allocations,
+        default_times=default_times,
+        recommended_times=recommended_times,
+        overall_improvement=improvement,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 5–8 — calibration parameter behaviour
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParameterSweepResult:
+    """One optimizer parameter measured across CPU and memory settings.
+
+    Attributes:
+        parameter: parameter name (e.g. ``cpu_tuple_cost`` or ``cpuspeed``).
+        inverse_cpu_shares: the swept ``1 / cpu_share`` values.
+        at_half_memory: parameter values measured with 50% of the memory.
+        averaged_over_memory: parameter values averaged over the swept
+            memory allocations (20%–80%).
+        regression_r2: fit quality of the linear regression on the
+            half-memory samples (the paper's Figures 5–6 show it is high).
+        memory_relative_spread: maximum relative deviation of the
+            memory-averaged values from the half-memory values; small values
+            confirm the CPU parameters do not depend on memory.
+    """
+
+    parameter: str
+    inverse_cpu_shares: Tuple[float, ...]
+    at_half_memory: Tuple[float, ...]
+    averaged_over_memory: Tuple[float, ...]
+    regression_r2: float
+    memory_relative_spread: float
+
+
+def _sweep_parameter(
+    values_by_memory: Dict[float, List[float]],
+    inverse_shares: Sequence[float],
+    parameter: str,
+) -> ParameterSweepResult:
+    at_half = values_by_memory[0.5]
+    averaged = [
+        sum(values_by_memory[mem][index] for mem in values_by_memory)
+        / len(values_by_memory)
+        for index in range(len(inverse_shares))
+    ]
+    fit = fit_linear(list(inverse_shares), at_half)
+    predicted = [fit.predict(x) for x in inverse_shares]
+    spread = max(
+        abs(avg - half) / half if half else 0.0
+        for avg, half in zip(averaged, at_half)
+    )
+    return ParameterSweepResult(
+        parameter=parameter,
+        inverse_cpu_shares=tuple(inverse_shares),
+        at_half_memory=tuple(at_half),
+        averaged_over_memory=tuple(averaged),
+        regression_r2=r_squared(predicted, at_half),
+        memory_relative_spread=spread,
+    )
+
+
+def postgresql_parameter_sweep(
+    context: ExperimentContext,
+    cpu_shares: Sequence[float] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0),
+    memory_fractions: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8),
+) -> Dict[str, ParameterSweepResult]:
+    """Figures 5 and 7: PostgreSQL ``cpu_tuple_cost`` and ``random_page_cost``."""
+    engine = context.engine("postgresql", "tpch", 1.0)
+    assert isinstance(engine, PostgreSQLEngine)
+    settings = context.calibration_settings
+    tuple_cost: Dict[float, List[float]] = {m: [] for m in memory_fractions}
+    page_cost: Dict[float, List[float]] = {m: [] for m in memory_fractions}
+    inverse_shares = [1.0 / share for share in cpu_shares]
+    for memory_fraction in memory_fractions:
+        for share in cpu_shares:
+            values = measure_postgresql_cpu_parameters(
+                engine, context.machine, share, memory_fraction, settings
+            )
+            tuple_cost[memory_fraction].append(values["cpu_tuple_cost"])
+            page_cost[memory_fraction].append(values["random_page_cost"])
+    return {
+        "cpu_tuple_cost": _sweep_parameter(tuple_cost, inverse_shares, "cpu_tuple_cost"),
+        "random_page_cost": _sweep_parameter(page_cost, inverse_shares, "random_page_cost"),
+    }
+
+
+def db2_parameter_sweep(
+    context: ExperimentContext,
+    cpu_shares: Sequence[float] = (0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0),
+    memory_fractions: Sequence[float] = (0.2, 0.35, 0.5, 0.65, 0.8),
+) -> Dict[str, ParameterSweepResult]:
+    """Figures 6 and 8: DB2 ``cpuspeed`` and ``transfer_rate``."""
+    settings = context.calibration_settings
+    cpuspeed: Dict[float, List[float]] = {m: [] for m in memory_fractions}
+    transfer: Dict[float, List[float]] = {m: [] for m in memory_fractions}
+    inverse_shares = [1.0 / share for share in cpu_shares]
+    for memory_fraction in memory_fractions:
+        for share in cpu_shares:
+            values = measure_db2_cpu_parameters(
+                context.machine, share, memory_fraction, settings
+            )
+            cpuspeed[memory_fraction].append(values["cpuspeed_ms"])
+            transfer[memory_fraction].append(values["transfer_rate_ms"])
+    return {
+        "cpuspeed": _sweep_parameter(cpuspeed, inverse_shares, "cpuspeed"),
+        "transfer_rate": _sweep_parameter(transfer, inverse_shares, "transfer_rate"),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figures 9–10 — shape of the objective function
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObjectiveSurfaceResult:
+    """Total estimated cost over a grid of (CPU, memory) shares for W1."""
+
+    cpu_shares: Tuple[float, ...]
+    memory_fractions: Tuple[float, ...]
+    total_costs: Tuple[Tuple[float, ...], ...]
+
+    def minimum(self) -> Tuple[float, float, float]:
+        """The grid point with the lowest total cost: (cpu, memory, cost)."""
+        best = (self.cpu_shares[0], self.memory_fractions[0], float("inf"))
+        for i, cpu in enumerate(self.cpu_shares):
+            for j, memory in enumerate(self.memory_fractions):
+                cost = self.total_costs[i][j]
+                if cost < best[2]:
+                    best = (cpu, memory, cost)
+        return best
+
+    def cpu_slice(self, memory_index: int) -> Tuple[float, ...]:
+        """Total cost along the CPU axis at one memory level."""
+        return tuple(row[memory_index] for row in self.total_costs)
+
+
+def objective_surface(
+    context: ExperimentContext,
+    first_workload: Workload,
+    second_workload: Workload,
+    engine: str = "db2",
+    scale: float = 1.0,
+    grid: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+) -> ObjectiveSurfaceResult:
+    """Figures 9–10: the sum of estimated costs for two workloads.
+
+    The x and y axes are the CPU and memory shares given to the first
+    workload; the remainder goes to the second workload.
+    """
+    problem = context.multi_resource_problem(
+        (
+            context.tenant(first_workload, engine, "tpch", scale),
+            context.tenant(second_workload, engine, "tpch", scale),
+        )
+    )
+    estimator = context.estimator(problem)
+    costs: List[Tuple[float, ...]] = []
+    for cpu in grid:
+        row = []
+        for memory in grid:
+            first = ResourceAllocation(cpu_share=cpu, memory_fraction=memory)
+            second = ResourceAllocation(
+                cpu_share=round(1.0 - cpu, 6), memory_fraction=round(1.0 - memory, 6)
+            )
+            row.append(estimator.cost(0, first) + estimator.cost(1, second))
+        costs.append(tuple(row))
+    return ObjectiveSurfaceResult(
+        cpu_shares=tuple(grid),
+        memory_fractions=tuple(grid),
+        total_costs=tuple(costs),
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 7.2 — cost of calibration and of the search algorithm
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OverheadReport:
+    """Simulated cost of calibration and of the greedy search."""
+
+    engine: str
+    calibration_probe_seconds: float
+    calibration_query_seconds: float
+    calibration_total_seconds: float
+    calibration_cpu_levels: int
+    search_iterations: int
+    search_cost_calls: int
+
+
+def overhead_report(
+    context: ExperimentContext, engine: str = "db2", scale: float = 1.0
+) -> OverheadReport:
+    """Section 7.2: how much calibration and the greedy search cost."""
+    calibration = context.calibration(engine, "tpch", scale)
+    report: CalibrationReport = calibration.report
+    queries = context.queries(engine, "tpch", scale)
+    workload_a = Workload(
+        name="overhead-a",
+        statements=(WorkloadStatement(query=queries["q18"], frequency=5.0),),
+    )
+    workload_b = Workload(
+        name="overhead-b",
+        statements=(WorkloadStatement(query=queries["q21"], frequency=1.0),),
+    )
+    problem = context.cpu_only_problem(
+        (
+            context.tenant(workload_a, engine, "tpch", scale),
+            context.tenant(workload_b, engine, "tpch", scale),
+        )
+    )
+    recommendation = context.recommend(problem)
+    return OverheadReport(
+        engine=engine,
+        calibration_probe_seconds=report.probe_seconds,
+        calibration_query_seconds=report.query_seconds,
+        calibration_total_seconds=report.total_seconds,
+        calibration_cpu_levels=report.cpu_levels,
+        search_iterations=recommendation.iterations,
+        search_cost_calls=recommendation.cost_calls,
+    )

@@ -1,0 +1,177 @@
+"""Dynamic configuration management experiment (Figures 35–36 of the paper).
+
+Two workloads — one TPC-H, one TPC-C, both on DB2 — are consolidated, and
+their execution is monitored for nine 30-minute periods:
+
+* every period the TPC-H workload grows by one workload unit (a minor,
+  intensity-only change), and
+* in periods 3 and 7 the two workloads are switched between the virtual
+  machines (a major change for both).
+
+Dynamic configuration management detects the major changes, discards its
+refined cost models, and re-allocates the CPU within one period.  The
+continuous-online-refinement baseline (which treats every change as minor)
+adapts to the intensity drift but reacts slowly to the switches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.dynamic import DynamicConfigurationManager, PeriodDecision
+from ..core.problem import ConsolidatedWorkload, ResourceAllocation
+from ..monitoring.metrics import relative_improvement
+from ..workloads.generator import tpcc_workload
+from ..workloads.units import compose_workload, cpu_intensive_unit, cpu_nonintensive_unit
+from ..workloads.workload import Workload
+from .harness import ExperimentContext
+
+
+@dataclass(frozen=True)
+class DynamicPeriodResult:
+    """What happened in one monitoring period."""
+
+    period: int
+    tpch_on_first_vm: bool
+    cpu_share_first_vm: float
+    cpu_share_second_vm: float
+    improvement_over_default: float
+    change_classes: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DynamicExperimentResult:
+    """Figures 35–36: dynamic management versus continuous refinement."""
+
+    managed_periods: Tuple[DynamicPeriodResult, ...]
+    continuous_periods: Tuple[DynamicPeriodResult, ...]
+    switch_periods: Tuple[int, ...]
+
+    def managed_improvements(self) -> List[float]:
+        """Improvement over default per period with dynamic management."""
+        return [p.improvement_over_default for p in self.managed_periods]
+
+    def continuous_improvements(self) -> List[float]:
+        """Improvement over default per period with continuous refinement."""
+        return [p.improvement_over_default for p in self.continuous_periods]
+
+
+def _build_period_workloads(
+    context: ExperimentContext,
+    n_periods: int,
+    switch_periods: Sequence[int],
+    warehouses: int,
+    tpch_scale: float,
+    base_tpch_units: int,
+    tpcc_warehouses_accessed: int,
+    tpcc_clients: int,
+) -> List[Tuple[Workload, Workload, bool]]:
+    """Per period: (workload on VM1, workload on VM2, tpch_on_first_vm)."""
+    tpch_queries = context.queries("db2", "tpch", tpch_scale)
+    transactions = context.queries("db2", "tpcc", warehouses)
+    tpcc = tpcc_workload(
+        transactions,
+        name="W25-tpcc",
+        warehouses_accessed=tpcc_warehouses_accessed,
+        clients_per_warehouse=tpcc_clients,
+    )
+    unit_c = cpu_intensive_unit(tpch_queries, "db2")
+    unit_i = cpu_nonintensive_unit(tpch_queries, "db2")
+    periods = []
+    tpch_on_first = True
+    for period in range(1, n_periods + 1):
+        if period in switch_periods:
+            tpch_on_first = not tpch_on_first
+        units = base_tpch_units + (period - 1)
+        tpch = compose_workload(
+            f"W24-tpch-p{period}", [(unit_c, float(units)), (unit_i, float(units))]
+        )
+        if tpch_on_first:
+            periods.append((tpch, tpcc, True))
+        else:
+            periods.append((tpcc, tpch, False))
+    return periods
+
+
+def _run_manager(
+    context: ExperimentContext,
+    manager: DynamicConfigurationManager,
+    period_workloads: Sequence[Tuple[Workload, Workload, bool]],
+    warehouses: int,
+    tpch_scale: float,
+) -> List[DynamicPeriodResult]:
+    manager.initial_recommendation()
+    results = []
+    for period_index, (first, second, tpch_on_first) in enumerate(period_workloads, start=1):
+        def tenant_for(workload: Workload) -> ConsolidatedWorkload:
+            if "tpcc" in workload.name:
+                return context.tenant(workload, "db2", "tpcc", warehouses)
+            return context.tenant(workload, "db2", "tpch", tpch_scale)
+
+        tenants = (tenant_for(first), tenant_for(second))
+        allocation_in_force = manager.current_allocations
+        decision = manager.process_period(tenants)
+        # Improvement of the allocation that was in force during the period
+        # over the default 1/N allocation, measured on that period's
+        # workloads.
+        problem = manager.base_problem.with_tenants(tenants)
+        actuals = context.actuals(problem)
+        default_cost = actuals.total_cost(problem.default_allocation())
+        in_force_cost = actuals.total_cost(allocation_in_force)
+        results.append(
+            DynamicPeriodResult(
+                period=period_index,
+                tpch_on_first_vm=tpch_on_first,
+                cpu_share_first_vm=allocation_in_force[0].cpu_share,
+                cpu_share_second_vm=allocation_in_force[1].cpu_share,
+                improvement_over_default=relative_improvement(default_cost, in_force_cost),
+                change_classes=decision.change_classes,
+            )
+        )
+    return results
+
+
+def dynamic_management_experiment(
+    context: ExperimentContext,
+    n_periods: int = 9,
+    switch_periods: Sequence[int] = (3, 7),
+    warehouses: int = 10,
+    tpch_scale: float = 1.0,
+    base_tpch_units: int = 2,
+    tpcc_warehouses_accessed: int = 8,
+    tpcc_clients: int = 10,
+) -> DynamicExperimentResult:
+    """Figures 35–36: dynamic re-allocation versus continuous refinement."""
+    period_workloads = _build_period_workloads(
+        context, n_periods, switch_periods, warehouses, tpch_scale,
+        base_tpch_units, tpcc_warehouses_accessed, tpcc_clients,
+    )
+    first, second, _ = period_workloads[0]
+
+    def tenant_for(workload: Workload) -> ConsolidatedWorkload:
+        if "tpcc" in workload.name:
+            return context.tenant(workload, "db2", "tpcc", warehouses)
+        return context.tenant(workload, "db2", "tpch", tpch_scale)
+
+    base_problem = context.cpu_only_problem((tenant_for(first), tenant_for(second)))
+
+    managed = _run_manager(
+        context,
+        DynamicConfigurationManager(
+            base_problem, enumerator=context.advisor.enumerator, always_refine=False
+        ),
+        period_workloads, warehouses, tpch_scale,
+    )
+    continuous = _run_manager(
+        context,
+        DynamicConfigurationManager(
+            base_problem, enumerator=context.advisor.enumerator, always_refine=True
+        ),
+        period_workloads, warehouses, tpch_scale,
+    )
+    return DynamicExperimentResult(
+        managed_periods=tuple(managed),
+        continuous_periods=tuple(continuous),
+        switch_periods=tuple(switch_periods),
+    )

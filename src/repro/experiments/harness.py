@@ -1,0 +1,231 @@
+"""Shared experiment context.
+
+Building an experiment requires the same ingredients every time: a physical
+machine, calibrated PostgreSQL and DB2 engines for the TPC-H and TPC-C
+databases at the scale factors the paper uses, and the query/transaction
+templates.  :class:`ExperimentContext` builds them once (lazily) and caches
+them so a benchmark run does not recalibrate for every figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..calibration import CalibrationSettings, calibrate_engine
+from ..calibration.calibrator import EngineCalibration
+from ..core.advisor import Recommendation, VirtualizationDesignAdvisor
+from ..core.cost_estimator import ActualCostFunction, CostFunction, WhatIfCostEstimator
+from ..core.enumerator import ExhaustiveSearch
+from ..core.problem import (
+    CPU,
+    ConsolidatedWorkload,
+    MEMORY,
+    ResourceAllocation,
+    UNLIMITED_DEGRADATION,
+    VirtualizationDesignProblem,
+)
+from ..dbms.catalog import Database
+from ..dbms.db2 import DB2Engine
+from ..dbms.interface import DatabaseEngine
+from ..dbms.memory import DB2MemoryPolicy, PostgresMemoryPolicy
+from ..dbms.postgres import PostgreSQLEngine
+from ..dbms.query import QuerySpec
+from ..exceptions import ConfigurationError, OptimizationError
+from ..monitoring.metrics import relative_improvement
+from ..virt.machine import PhysicalMachine
+from ..workloads.tpcc import tpcc_database, tpcc_transactions
+from ..workloads.tpch import tpch_database, tpch_queries
+from ..workloads.workload import Workload
+
+#: Default calibration grid used by the experiments; a moderately coarse
+#: grid keeps the one-time calibration cheap, as in the paper.
+DEFAULT_CALIBRATION_SETTINGS = CalibrationSettings(
+    cpu_shares=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
+)
+
+#: Memory fraction corresponding to the paper's fixed 512 MB per VM in the
+#: CPU-only experiments (512 MB of an 8 GB host).
+FIXED_MEMORY_FRACTION_512MB = 512.0 / 8192.0
+
+
+@dataclass(frozen=True)
+class EngineKey:
+    """Cache key identifying one calibrated engine instance."""
+
+    engine: str
+    benchmark: str
+    scale: float
+
+
+class ExperimentContext:
+    """Lazily built, cached engines, calibrations, and query templates."""
+
+    def __init__(
+        self,
+        machine: Optional[PhysicalMachine] = None,
+        calibration_settings: Optional[CalibrationSettings] = None,
+        advisor_delta: float = 0.05,
+    ) -> None:
+        self.machine = machine or PhysicalMachine()
+        self.calibration_settings = calibration_settings or DEFAULT_CALIBRATION_SETTINGS
+        self.advisor = VirtualizationDesignAdvisor(delta=advisor_delta)
+        self._databases: Dict[EngineKey, Database] = {}
+        self._engines: Dict[EngineKey, DatabaseEngine] = {}
+        self._calibrations: Dict[EngineKey, EngineCalibration] = {}
+        self._queries: Dict[EngineKey, Dict[str, QuerySpec]] = {}
+
+    # ------------------------------------------------------------------
+    # Engine / calibration factories
+    # ------------------------------------------------------------------
+    def _key(self, engine: str, benchmark: str, scale: float) -> EngineKey:
+        return EngineKey(engine=engine, benchmark=benchmark, scale=scale)
+
+    def _build_database(self, key: EngineKey) -> Database:
+        name = f"{key.benchmark}_{key.engine}_{key.scale:g}"
+        if key.benchmark == "tpch":
+            return tpch_database(key.scale, name=name)
+        if key.benchmark == "tpcc":
+            return tpcc_database(int(key.scale), name=name)
+        raise ConfigurationError(f"unknown benchmark {key.benchmark!r}")
+
+    def _build_engine(self, key: EngineKey, database: Database) -> DatabaseEngine:
+        if key.engine == "postgresql":
+            return PostgreSQLEngine(database, memory_policy=PostgresMemoryPolicy())
+        if key.engine == "db2":
+            return DB2Engine(database, memory_policy=DB2MemoryPolicy())
+        raise ConfigurationError(f"unknown engine {key.engine!r}")
+
+    def database(self, engine: str, benchmark: str, scale: float) -> Database:
+        """The (cached) database catalog for one engine/benchmark/scale."""
+        key = self._key(engine, benchmark, scale)
+        if key not in self._databases:
+            self._databases[key] = self._build_database(key)
+        return self._databases[key]
+
+    def engine(self, engine: str, benchmark: str, scale: float) -> DatabaseEngine:
+        """The (cached) engine instance for one engine/benchmark/scale."""
+        key = self._key(engine, benchmark, scale)
+        if key not in self._engines:
+            self._engines[key] = self._build_engine(key, self.database(engine, benchmark, scale))
+        return self._engines[key]
+
+    def calibration(self, engine: str, benchmark: str, scale: float) -> EngineCalibration:
+        """The (cached) calibration of one engine on the shared machine."""
+        key = self._key(engine, benchmark, scale)
+        if key not in self._calibrations:
+            self._calibrations[key] = calibrate_engine(
+                self.engine(engine, benchmark, scale),
+                self.machine,
+                self.calibration_settings,
+            )
+        return self._calibrations[key]
+
+    def queries(self, engine: str, benchmark: str, scale: float) -> Dict[str, QuerySpec]:
+        """The (cached) query/transaction templates for one database."""
+        key = self._key(engine, benchmark, scale)
+        if key not in self._queries:
+            database = self.database(engine, benchmark, scale)
+            if benchmark == "tpch":
+                self._queries[key] = tpch_queries(database)
+            elif benchmark == "tpcc":
+                self._queries[key] = tpcc_transactions(database)
+            else:
+                raise ConfigurationError(f"unknown benchmark {benchmark!r}")
+        return self._queries[key]
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def tenant(
+        self,
+        workload: Workload,
+        engine: str,
+        benchmark: str = "tpch",
+        scale: float = 1.0,
+        degradation_limit: float = UNLIMITED_DEGRADATION,
+        gain_factor: float = 1.0,
+    ) -> ConsolidatedWorkload:
+        """Wrap a workload with its calibrated engine and QoS settings."""
+        return ConsolidatedWorkload(
+            workload=workload,
+            calibration=self.calibration(engine, benchmark, scale),
+            degradation_limit=degradation_limit,
+            gain_factor=gain_factor,
+        )
+
+    def cpu_only_problem(
+        self,
+        tenants: Sequence[ConsolidatedWorkload],
+        fixed_memory_fraction: float = FIXED_MEMORY_FRACTION_512MB,
+    ) -> VirtualizationDesignProblem:
+        """A problem in which only CPU is allocated (memory fixed per VM)."""
+        return VirtualizationDesignProblem(
+            tenants=tuple(tenants),
+            resources=(CPU,),
+            fixed_memory_fraction=fixed_memory_fraction,
+        )
+
+    def multi_resource_problem(
+        self, tenants: Sequence[ConsolidatedWorkload]
+    ) -> VirtualizationDesignProblem:
+        """A problem in which both CPU and memory are allocated."""
+        return VirtualizationDesignProblem(
+            tenants=tuple(tenants), resources=(CPU, MEMORY)
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    def estimator(self, problem: VirtualizationDesignProblem) -> WhatIfCostEstimator:
+        """A what-if cost estimator for a problem."""
+        return WhatIfCostEstimator(problem)
+
+    def actuals(self, problem: VirtualizationDesignProblem) -> ActualCostFunction:
+        """A ground-truth cost function for a problem."""
+        return ActualCostFunction(problem)
+
+    def recommend(self, problem: VirtualizationDesignProblem) -> Recommendation:
+        """Run the advisor's static recommendation for a problem."""
+        return self.advisor.recommend(problem)
+
+    def measured_improvement(
+        self,
+        problem: VirtualizationDesignProblem,
+        allocations: Tuple[ResourceAllocation, ...],
+        actuals: Optional[CostFunction] = None,
+    ) -> float:
+        """Actual improvement of ``allocations`` over the default allocation."""
+        actuals = actuals or self.actuals(problem)
+        default_cost = actuals.total_cost(problem.default_allocation())
+        return relative_improvement(default_cost, actuals.total_cost(allocations))
+
+    def best_effort_optimal(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: CostFunction,
+        delta: float = 0.05,
+        max_combinations: int = 500_000,
+    ) -> Tuple[ResourceAllocation, ...]:
+        """The best allocation found by exhaustive search, if tractable.
+
+        Exhaustive search over a fine grid becomes intractable for many
+        workloads and two resources; in that case the method falls back to
+        greedy search over the same cost function (which Section 4.5 shows
+        to be within a few percent of optimal), coarsening the grid first.
+        """
+        for grid in (delta, 0.1, 0.2):
+            if round(1.0 / grid) < 2 * problem.n_workloads:
+                # Too coarse: some workload would be starved of a resource
+                # entirely, which is never the optimal configuration.
+                continue
+            try:
+                search = ExhaustiveSearch(
+                    delta=grid,
+                    min_share=grid,
+                    max_combinations=max_combinations,
+                )
+                return search.search(problem, cost_function).allocations
+            except OptimizationError:
+                continue
+        return self.advisor.enumerator.enumerate(problem, cost_function).allocations

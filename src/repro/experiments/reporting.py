@@ -1,0 +1,70 @@
+"""Result formatting for the benchmark harness and EXPERIMENTS.md.
+
+The benchmarks print the same kind of rows and series the paper's figures
+plot (allocation per workload versus a swept parameter, performance
+improvement versus the number of workloads, and so on).  These helpers keep
+the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_to_rows(
+    x_label: str,
+    series: Mapping[str, Sequence[float]],
+    x_values: Sequence[object],
+) -> Tuple[List[str], List[List[object]]]:
+    """Convert named series into (headers, rows) suitable for format_table."""
+    headers = [x_label] + list(series.keys())
+    rows: List[List[object]] = []
+    for index, x_value in enumerate(x_values):
+        row: List[object] = [x_value]
+        for values in series.values():
+            row.append(values[index] if index < len(values) else float("nan"))
+        rows.append(row)
+    return headers, rows
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    lines = ["| " + " | ".join(headers) + " |",
+             "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(render(value) for value in row) + " |")
+    return "\n".join(lines)

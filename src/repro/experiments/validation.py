@@ -1,0 +1,324 @@
+"""Controlled validation experiments (Figures 12–20 of the paper).
+
+These experiments construct workloads from the C/I/B/D units of Sections
+7.3–7.5, where the correct advisor behaviour is known in advance, and report
+the recommended allocations and the estimated performance improvement over
+the default ``1/N`` allocation.  As in the paper, the improvement metric for
+these validation experiments is computed from optimizer estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.problem import ResourceAllocation, UNLIMITED_DEGRADATION
+from ..monitoring.metrics import degradation as degradation_metric
+from ..workloads.units import (
+    cpu_intensive_unit,
+    compose_workload,
+    mixed_cpu_workload,
+    mixed_memory_workload,
+)
+from .harness import ExperimentContext
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a swept validation experiment."""
+
+    k: float
+    allocation_to_second_workload: float
+    estimated_improvement: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """A swept validation experiment (one of Figures 12–18)."""
+
+    figure: str
+    engine: str
+    points: Tuple[SweepPoint, ...]
+
+    def allocations(self) -> List[float]:
+        """Allocation to the varied workload, in sweep order."""
+        return [point.allocation_to_second_workload for point in self.points]
+
+    def improvements(self) -> List[float]:
+        """Estimated improvement over the default allocation, in sweep order."""
+        return [point.estimated_improvement for point in self.points]
+
+
+# ----------------------------------------------------------------------
+# Figures 12–13: varying CPU intensity
+# ----------------------------------------------------------------------
+def cpu_intensity_sweep(
+    context: ExperimentContext,
+    engine: str,
+    ks: Sequence[int] = tuple(range(0, 11)),
+    scale: float = 1.0,
+) -> SweepResult:
+    """W1 = 5C + 5I versus W2 = kC + (10-k)I, allocating CPU only.
+
+    As ``k`` grows, W2 becomes more CPU intensive and should receive more
+    CPU; the improvement is smallest where the workloads are similar.
+    """
+    queries = context.queries(engine, "tpch", scale)
+    first = mixed_cpu_workload("W1", queries, engine, cpu_units=5, noncpu_units=5)
+    points = []
+    for k in ks:
+        second = mixed_cpu_workload(
+            f"W2(k={k})", queries, engine, cpu_units=k, noncpu_units=10 - k
+        )
+        problem = context.cpu_only_problem(
+            (
+                context.tenant(first, engine, "tpch", scale),
+                context.tenant(second, engine, "tpch", scale),
+            )
+        )
+        recommendation = context.recommend(problem)
+        points.append(
+            SweepPoint(
+                k=float(k),
+                allocation_to_second_workload=recommendation.allocations[1].cpu_share,
+                estimated_improvement=recommendation.estimated_improvement,
+            )
+        )
+    figure = "fig12" if engine == "db2" else "fig13"
+    return SweepResult(figure=figure, engine=engine, points=tuple(points))
+
+
+# ----------------------------------------------------------------------
+# Figures 14–15: varying workload size and resource intensity
+# ----------------------------------------------------------------------
+def size_and_intensity_sweep(
+    context: ExperimentContext,
+    engine: str,
+    ks: Sequence[int] = tuple(range(1, 11)),
+    scale: float = 1.0,
+) -> SweepResult:
+    """W3 = 1C versus W4 = kC: the larger workload should get more CPU."""
+    queries = context.queries(engine, "tpch", scale)
+    first = mixed_cpu_workload("W3", queries, engine, cpu_units=1, noncpu_units=0)
+    points = []
+    for k in ks:
+        second = mixed_cpu_workload(
+            f"W4(k={k})", queries, engine, cpu_units=k, noncpu_units=0
+        )
+        problem = context.cpu_only_problem(
+            (
+                context.tenant(first, engine, "tpch", scale),
+                context.tenant(second, engine, "tpch", scale),
+            )
+        )
+        recommendation = context.recommend(problem)
+        points.append(
+            SweepPoint(
+                k=float(k),
+                allocation_to_second_workload=recommendation.allocations[1].cpu_share,
+                estimated_improvement=recommendation.estimated_improvement,
+            )
+        )
+    figure = "fig14" if engine == "db2" else "fig15"
+    return SweepResult(figure=figure, engine=engine, points=tuple(points))
+
+
+# ----------------------------------------------------------------------
+# Figures 16–17: varying workload size but not resource intensity
+# ----------------------------------------------------------------------
+def size_only_sweep(
+    context: ExperimentContext,
+    engine: str,
+    ks: Sequence[int] = tuple(range(1, 11)),
+    scale: float = 1.0,
+) -> SweepResult:
+    """W5 = 1C versus W6 = kI: length alone should not attract CPU.
+
+    W6 grows in length but stays CPU non-intensive, so it should receive far
+    less CPU than its length alone would suggest.
+    """
+    queries = context.queries(engine, "tpch", scale)
+    first = mixed_cpu_workload("W5", queries, engine, cpu_units=1, noncpu_units=0)
+    points = []
+    for k in ks:
+        second = mixed_cpu_workload(
+            f"W6(k={k})", queries, engine, cpu_units=0, noncpu_units=k
+        )
+        problem = context.cpu_only_problem(
+            (
+                context.tenant(first, engine, "tpch", scale),
+                context.tenant(second, engine, "tpch", scale),
+            )
+        )
+        recommendation = context.recommend(problem)
+        points.append(
+            SweepPoint(
+                k=float(k),
+                allocation_to_second_workload=recommendation.allocations[1].cpu_share,
+                estimated_improvement=recommendation.estimated_improvement,
+            )
+        )
+    figure = "fig16" if engine == "db2" else "fig17"
+    return SweepResult(figure=figure, engine=engine, points=tuple(points))
+
+
+# ----------------------------------------------------------------------
+# Figure 18: varying memory intensity
+# ----------------------------------------------------------------------
+def memory_intensity_sweep(
+    context: ExperimentContext,
+    ks: Sequence[int] = tuple(range(0, 11)),
+    scale: float = 10.0,
+) -> SweepResult:
+    """W7 = 5B + 5D versus W8 = kB + (10-k)D on DB2 (CPU and memory allocated)."""
+    queries = context.queries("db2", "tpch", scale)
+    first = mixed_memory_workload("W7", queries, memory_units=5, nonmemory_units=5)
+    points = []
+    for k in ks:
+        second = mixed_memory_workload(
+            f"W8(k={k})", queries, memory_units=k, nonmemory_units=10 - k
+        )
+        problem = context.multi_resource_problem(
+            (
+                context.tenant(first, "db2", "tpch", scale),
+                context.tenant(second, "db2", "tpch", scale),
+            )
+        )
+        recommendation = context.recommend(problem)
+        points.append(
+            SweepPoint(
+                k=float(k),
+                allocation_to_second_workload=(
+                    recommendation.allocations[1].memory_fraction
+                ),
+                estimated_improvement=recommendation.estimated_improvement,
+            )
+        )
+    return SweepResult(figure="fig18", engine="db2", points=tuple(points))
+
+
+# ----------------------------------------------------------------------
+# Figures 19–20: QoS — degradation limits and benefit gain factors
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class DegradationLimitPoint:
+    """Degradation of every workload for one setting of L9."""
+
+    limit: float
+    degradations: Tuple[float, ...]
+    limit_met: bool
+
+
+@dataclass(frozen=True)
+class DegradationLimitResult:
+    """Figure 19: the effect of workload W9's degradation limit."""
+
+    engine: str
+    constrained_second_limit: float
+    points: Tuple[DegradationLimitPoint, ...]
+
+
+def degradation_limit_sweep(
+    context: ExperimentContext,
+    limits: Sequence[float] = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5),
+    second_limit: float = 2.5,
+    n_workloads: int = 5,
+    engine: str = "db2",
+    scale: float = 1.0,
+) -> DegradationLimitResult:
+    """Five identical workloads; W9's limit is swept, W10's is fixed at 2.5."""
+    queries = context.queries(engine, "tpch", scale)
+    unit = cpu_intensive_unit(queries, engine)
+    points = []
+    for limit in limits:
+        tenants = []
+        for index in range(n_workloads):
+            workload = compose_workload(f"W{9 + index}", [(unit, 1.0)])
+            if index == 0:
+                tenant_limit = limit
+            elif index == 1:
+                tenant_limit = second_limit
+            else:
+                tenant_limit = UNLIMITED_DEGRADATION
+            tenants.append(
+                context.tenant(
+                    workload, engine, "tpch", scale, degradation_limit=tenant_limit
+                )
+            )
+        problem = context.cpu_only_problem(tenants)
+        estimator = context.estimator(problem)
+        recommendation = context.recommend(problem)
+        degradations = tuple(
+            degradation_metric(
+                estimator.cost(i, recommendation.allocations[i]),
+                estimator.cost(i, problem.full_allocation()),
+            )
+            for i in range(n_workloads)
+        )
+        points.append(
+            DegradationLimitPoint(
+                limit=limit,
+                degradations=degradations,
+                limit_met=degradations[0] <= limit + 1e-6,
+            )
+        )
+    return DegradationLimitResult(
+        engine=engine, constrained_second_limit=second_limit, points=tuple(points)
+    )
+
+
+@dataclass(frozen=True)
+class GainFactorPoint:
+    """CPU allocations for one setting of G9."""
+
+    gain: float
+    cpu_shares: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class GainFactorResult:
+    """Figure 20: the effect of workload W9's benefit gain factor."""
+
+    engine: str
+    second_gain: float
+    points: Tuple[GainFactorPoint, ...]
+
+    def first_workload_shares(self) -> List[float]:
+        """CPU share of W9 across the sweep."""
+        return [point.cpu_shares[0] for point in self.points]
+
+
+def gain_factor_sweep(
+    context: ExperimentContext,
+    gains: Sequence[float] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+    second_gain: float = 4.0,
+    n_workloads: int = 5,
+    engine: str = "db2",
+    scale: float = 1.0,
+) -> GainFactorResult:
+    """Five identical workloads; W9's gain factor is swept, W10's is 4."""
+    queries = context.queries(engine, "tpch", scale)
+    unit = cpu_intensive_unit(queries, engine)
+    points = []
+    for gain in gains:
+        tenants = []
+        for index in range(n_workloads):
+            workload = compose_workload(f"W{9 + index}", [(unit, 1.0)])
+            if index == 0:
+                factor = float(gain)
+            elif index == 1:
+                factor = second_gain
+            else:
+                factor = 1.0
+            tenants.append(
+                context.tenant(workload, engine, "tpch", scale, gain_factor=factor)
+            )
+        problem = context.cpu_only_problem(tenants)
+        recommendation = context.recommend(problem)
+        points.append(
+            GainFactorPoint(
+                gain=float(gain),
+                cpu_shares=tuple(a.cpu_share for a in recommendation.allocations),
+            )
+        )
+    return GainFactorResult(engine=engine, second_gain=second_gain, points=tuple(points))

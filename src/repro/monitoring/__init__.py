@@ -1,0 +1,25 @@
+"""Run-time monitoring support.
+
+The advisor's online refinement (Section 5) and dynamic configuration
+management (Section 6) both consume run-time observations: actual workload
+execution times per monitoring period, the relative modeling error ``E_ip``,
+and the relative change in average estimated query cost used to classify
+workload changes as minor or major.
+"""
+
+from .metrics import (
+    degradation,
+    relative_improvement,
+    relative_modeling_error,
+    relative_workload_change,
+)
+from .monitor import PeriodObservation, WorkloadMonitor
+
+__all__ = [
+    "PeriodObservation",
+    "WorkloadMonitor",
+    "degradation",
+    "relative_improvement",
+    "relative_modeling_error",
+    "relative_workload_change",
+]

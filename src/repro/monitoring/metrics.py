@@ -1,0 +1,45 @@
+"""Performance and modeling-error metrics used throughout the paper."""
+
+from __future__ import annotations
+
+from ..exceptions import MonitoringError
+
+
+def degradation(cost: float, full_allocation_cost: float) -> float:
+    """``Degradation(W, R) = Cost(W, R) / Cost(W, [1, ..., 1])`` (Section 3)."""
+    if cost < 0 or full_allocation_cost < 0:
+        raise MonitoringError("costs must not be negative")
+    if full_allocation_cost == 0:
+        return 1.0
+    return cost / full_allocation_cost
+
+
+def relative_improvement(default_cost: float, new_cost: float) -> float:
+    """``(T_default - T_new) / T_default`` — the paper's performance metric.
+
+    Positive values mean the new configuration is better than the default
+    ``1/N`` allocation; negative values mean it is worse.
+    """
+    if default_cost < 0 or new_cost < 0:
+        raise MonitoringError("costs must not be negative")
+    if default_cost == 0:
+        return 0.0
+    return (default_cost - new_cost) / default_cost
+
+
+def relative_modeling_error(estimated: float, actual: float) -> float:
+    """``E_ip``: relative error between estimated and observed cost (Section 6)."""
+    if estimated < 0 or actual < 0:
+        raise MonitoringError("costs must not be negative")
+    if actual == 0:
+        return 0.0 if estimated == 0 else float("inf")
+    return abs(estimated - actual) / actual
+
+
+def relative_workload_change(previous_average: float, current_average: float) -> float:
+    """Relative change in average estimated cost per query between periods."""
+    if previous_average < 0 or current_average < 0:
+        raise MonitoringError("average costs must not be negative")
+    if previous_average == 0:
+        return 0.0 if current_average == 0 else float("inf")
+    return abs(current_average - previous_average) / previous_average

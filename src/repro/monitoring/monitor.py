@@ -1,0 +1,137 @@
+"""Per-workload monitoring history.
+
+A :class:`WorkloadMonitor` records, for one consolidated workload, the
+observations collected at the end of each monitoring period: the workload
+served, the resource allocation in force, the estimated and actual costs,
+and the average estimated cost per query.  From this history it derives the
+two signals the dynamic configuration manager needs:
+
+* the *workload change* classification (none / minor / major) based on the
+  relative change in average estimated cost per query, with the paper's
+  θ = 10% threshold, and
+* the *relative modeling error* ``E_ip`` with its 5% threshold, used to
+  decide whether online refinement can absorb a minor change that arrives
+  before refinement has converged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.problem import ResourceAllocation
+from ..exceptions import MonitoringError
+from ..workloads.workload import Workload
+from .metrics import relative_modeling_error, relative_workload_change
+
+#: Default workload-change threshold θ (Section 6.1).
+DEFAULT_CHANGE_THRESHOLD = 0.10
+
+#: Default modeling-error threshold (Section 6.2).
+DEFAULT_ERROR_THRESHOLD = 0.05
+
+#: Workload-change classifications.
+CHANGE_NONE = "none"
+CHANGE_MINOR = "minor"
+CHANGE_MAJOR = "major"
+
+
+@dataclass(frozen=True)
+class PeriodObservation:
+    """Everything observed about one workload during one monitoring period."""
+
+    period: int
+    workload: Workload
+    allocation: ResourceAllocation
+    estimated_cost: float
+    actual_cost: float
+    average_query_cost: float
+
+    @property
+    def modeling_error(self) -> float:
+        """Relative modeling error ``E_ip`` for this period."""
+        return relative_modeling_error(self.estimated_cost, self.actual_cost)
+
+
+class WorkloadMonitor:
+    """History of monitoring-period observations for one workload."""
+
+    def __init__(
+        self,
+        name: str,
+        change_threshold: float = DEFAULT_CHANGE_THRESHOLD,
+        error_threshold: float = DEFAULT_ERROR_THRESHOLD,
+    ) -> None:
+        if change_threshold <= 0 or error_threshold <= 0:
+            raise MonitoringError("thresholds must be positive")
+        self.name = name
+        self.change_threshold = change_threshold
+        self.error_threshold = error_threshold
+        self._history: List[PeriodObservation] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, observation: PeriodObservation) -> None:
+        """Append one period's observation to the history."""
+        if self._history and observation.period <= self._history[-1].period:
+            raise MonitoringError(
+                f"monitoring periods must be recorded in increasing order "
+                f"(got {observation.period} after {self._history[-1].period})"
+            )
+        self._history.append(observation)
+
+    @property
+    def history(self) -> List[PeriodObservation]:
+        """All recorded observations, oldest first."""
+        return list(self._history)
+
+    @property
+    def latest(self) -> Optional[PeriodObservation]:
+        """The most recent observation, if any."""
+        return self._history[-1] if self._history else None
+
+    @property
+    def previous(self) -> Optional[PeriodObservation]:
+        """The observation before the most recent one, if any."""
+        return self._history[-2] if len(self._history) >= 2 else None
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def change_classification(self) -> str:
+        """Classify the latest workload change (none / minor / major)."""
+        if self.latest is None or self.previous is None:
+            return CHANGE_NONE
+        change = relative_workload_change(
+            self.previous.average_query_cost, self.latest.average_query_cost
+        )
+        if change == 0.0:
+            return CHANGE_NONE
+        return CHANGE_MAJOR if change > self.change_threshold else CHANGE_MINOR
+
+    def modeling_error(self, period_offset: int = 0) -> float:
+        """``E_ip`` for the latest (offset 0) or an earlier period."""
+        index = -1 - period_offset
+        try:
+            observation = self._history[index]
+        except IndexError:
+            raise MonitoringError(
+                f"no observation at offset {period_offset} for workload {self.name!r}"
+            ) from None
+        return observation.modeling_error
+
+    def refinement_can_continue(self) -> bool:
+        """Decide whether refinement can absorb a minor change (Section 6.2).
+
+        Refinement continues when the modeling errors before and after the
+        change are both below the threshold, or when the error is
+        decreasing; otherwise the cost model should be discarded.
+        """
+        if len(self._history) < 2:
+            return True
+        current = self.modeling_error(0)
+        previous = self.modeling_error(1)
+        if current <= self.error_threshold and previous <= self.error_threshold:
+            return True
+        return current < previous

@@ -1,0 +1,90 @@
+"""Small unit-conversion helpers used throughout the library.
+
+The simulator expresses memory in megabytes, time in seconds, and resource
+allocations as fractions in ``[0, 1]``.  These helpers keep conversions
+explicit and give validation errors early instead of letting bad values
+propagate into cost formulas.
+"""
+
+from __future__ import annotations
+
+from .exceptions import ConfigurationError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Default page size used by both simulated engines (bytes), matching the
+#: 8 KB PostgreSQL page size referenced by the paper's calibration programs.
+DEFAULT_PAGE_SIZE = 8 * KB
+
+
+def mb(value: float) -> float:
+    """Return ``value`` megabytes expressed in bytes."""
+    return float(value) * MB
+
+
+def gb(value: float) -> float:
+    """Return ``value`` gigabytes expressed in bytes."""
+    return float(value) * GB
+
+
+def bytes_to_mb(value: float) -> float:
+    """Return ``value`` bytes expressed in megabytes."""
+    return float(value) / MB
+
+
+def bytes_to_pages(value: float, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Return the number of whole pages needed to hold ``value`` bytes."""
+    if page_size <= 0:
+        raise ConfigurationError(f"page_size must be positive, got {page_size}")
+    if value <= 0:
+        return 0
+    return int((float(value) + page_size - 1) // page_size)
+
+
+def ms(value: float) -> float:
+    """Return ``value`` milliseconds expressed in seconds."""
+    return float(value) / 1000.0
+
+
+def seconds_to_ms(value: float) -> float:
+    """Return ``value`` seconds expressed in milliseconds."""
+    return float(value) * 1000.0
+
+
+def validate_fraction(value: float, name: str = "fraction") -> float:
+    """Validate that ``value`` is a share in ``[0, 1]`` and return it.
+
+    Raises:
+        ConfigurationError: if the value lies outside the unit interval.
+    """
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be within [0, 1], got {value}")
+    return value
+
+
+def validate_positive(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    value = float(value)
+    if value <= 0.0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def validate_non_negative(value: float, name: str = "value") -> float:
+    """Validate that ``value`` is not negative and return it."""
+    value = float(value)
+    if value < 0.0:
+        raise ConfigurationError(f"{name} must not be negative, got {value}")
+    return value
+
+
+def clamp(value: float, lower: float, upper: float) -> float:
+    """Clamp ``value`` into the closed interval ``[lower, upper]``."""
+    if lower > upper:
+        raise ConfigurationError(
+            f"invalid clamp interval: lower={lower} exceeds upper={upper}"
+        )
+    return max(lower, min(upper, value))

@@ -1,0 +1,30 @@
+"""Simulated virtualization substrate.
+
+This package stands in for the Xen hypervisor and physical server used in the
+paper's experiments.  It provides:
+
+* :class:`~repro.virt.machine.PhysicalMachine` — the shared physical host
+  (CPU capacity, memory, disk characteristics).
+* :class:`~repro.virt.vm.VirtualMachine` — a virtual machine with a CPU share
+  and a memory allocation, plus the environment view that the DBMS engines
+  and calibration probes observe.
+* :class:`~repro.virt.hypervisor.Hypervisor` — creates VMs, enforces that the
+  resource shares are feasible, and exposes the resource-control knobs the
+  virtualization design advisor manipulates.
+* :class:`~repro.virt.contention.IOContentionVM` — the "noisy neighbour" VM
+  the paper runs alongside every experiment to magnify I/O contention.
+"""
+
+from .contention import IOContentionVM
+from .hypervisor import Hypervisor
+from .machine import DiskProfile, PhysicalMachine
+from .vm import VirtualMachine, VMEnvironment
+
+__all__ = [
+    "DiskProfile",
+    "Hypervisor",
+    "IOContentionVM",
+    "PhysicalMachine",
+    "VMEnvironment",
+    "VirtualMachine",
+]

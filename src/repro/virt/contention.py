@@ -1,0 +1,69 @@
+"""The noisy-neighbour I/O contention virtual machine.
+
+The paper's experimental methodology runs, alongside every workload VM, an
+additional VM that "performs heavy disk I/O operations to simulate the I/O
+contention that would be observed in a production environment".  This module
+provides that VM: it contributes a configurable multiplicative slowdown to
+the I/O of every other VM on the host.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError
+from ..units import validate_non_negative
+from .machine import PhysicalMachine
+from .vm import VirtualMachine
+
+
+class IOContentionVM(VirtualMachine):
+    """A VM whose only job is to generate disk I/O contention.
+
+    Attributes:
+        io_intensity: additive contribution to the I/O contention factor of
+            every other VM.  An intensity of 1.0 doubles the effective cost
+            of every page read performed by co-located VMs, which mirrors the
+            paper's deliberately conservative "worst case" setup.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: PhysicalMachine,
+        io_intensity: float = 1.0,
+        cpu_share: float = 0.05,
+        memory_mb: float = 256.0,
+    ) -> None:
+        super().__init__(
+            name=name,
+            machine=machine,
+            cpu_share=cpu_share,
+            memory_mb=memory_mb,
+            os_reserved_mb=0.0,
+        )
+        self.io_intensity = validate_non_negative(io_intensity, "io_intensity")
+        self._active = True
+
+    @property
+    def active(self) -> bool:
+        """Whether the contention VM is currently generating I/O."""
+        return self._active
+
+    def start(self) -> None:
+        """Start generating I/O contention."""
+        self._active = True
+
+    def stop(self) -> None:
+        """Stop generating I/O contention."""
+        self._active = False
+
+    def contention_contribution(self) -> float:
+        """Additive contribution to other VMs' I/O contention factor."""
+        return self.io_intensity if self._active else 0.0
+
+    def set_io_intensity(self, io_intensity: float) -> None:
+        """Change how aggressively this VM interferes with other VMs' I/O."""
+        if io_intensity < 0:
+            raise ConfigurationError(
+                f"io_intensity must not be negative, got {io_intensity}"
+            )
+        self.io_intensity = float(io_intensity)

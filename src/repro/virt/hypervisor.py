@@ -1,0 +1,213 @@
+"""Hypervisor (virtual machine monitor) simulator.
+
+The hypervisor owns the physical machine and the set of virtual machines
+placed on it.  It exposes the two resource-control mechanisms the paper's
+advisor uses — per-VM CPU shares and per-VM memory allocations — and
+enforces that the allocations remain feasible (shares sum to at most one,
+memory allocations sum to at most the physical memory).
+
+It also aggregates I/O contention: every VM's effective per-page I/O time is
+the raw disk time multiplied by ``1 + sum of the contention contributions of
+the other VMs``, which is how the paper's dedicated I/O-contention VM is
+reflected in measured run times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..exceptions import AllocationError, ConfigurationError
+from ..units import validate_fraction, validate_positive
+from .contention import IOContentionVM
+from .machine import PhysicalMachine
+from .vm import DEFAULT_OS_RESERVED_MB, VirtualMachine
+
+#: Tolerance used when checking that allocations fit on the host; avoids
+#: rejecting allocations that exceed capacity only through floating point
+#: round-off (e.g. ten shares of 0.1).
+_FEASIBILITY_EPSILON = 1e-9
+
+
+class Hypervisor:
+    """Creates virtual machines and enforces resource feasibility."""
+
+    def __init__(self, machine: Optional[PhysicalMachine] = None) -> None:
+        self.machine = machine if machine is not None else PhysicalMachine()
+        self._vms: Dict[str, VirtualMachine] = {}
+
+    # ------------------------------------------------------------------
+    # VM lifecycle
+    # ------------------------------------------------------------------
+    def create_vm(
+        self,
+        name: str,
+        cpu_share: float,
+        memory_mb: float,
+        os_reserved_mb: float = DEFAULT_OS_RESERVED_MB,
+    ) -> VirtualMachine:
+        """Create and register a new virtual machine.
+
+        Raises:
+            ConfigurationError: if a VM with the same name already exists.
+            AllocationError: if the requested resources do not fit.
+        """
+        if name in self._vms:
+            raise ConfigurationError(f"a VM named {name!r} already exists")
+        cpu_share = validate_fraction(cpu_share, "cpu_share")
+        memory_mb = validate_positive(memory_mb, "memory_mb")
+        self._check_feasible(extra_cpu=cpu_share, extra_memory=memory_mb)
+        vm = VirtualMachine(
+            name=name,
+            machine=self.machine,
+            cpu_share=cpu_share,
+            memory_mb=memory_mb,
+            os_reserved_mb=os_reserved_mb,
+            hypervisor=self,
+        )
+        self._vms[name] = vm
+        return vm
+
+    def create_contention_vm(
+        self,
+        name: str = "io-noise",
+        io_intensity: float = 1.0,
+        cpu_share: float = 0.05,
+        memory_mb: float = 256.0,
+    ) -> IOContentionVM:
+        """Create and register the noisy-neighbour I/O contention VM."""
+        if name in self._vms:
+            raise ConfigurationError(f"a VM named {name!r} already exists")
+        self._check_feasible(extra_cpu=cpu_share, extra_memory=memory_mb)
+        vm = IOContentionVM(
+            name=name,
+            machine=self.machine,
+            io_intensity=io_intensity,
+            cpu_share=cpu_share,
+            memory_mb=memory_mb,
+        )
+        # IOContentionVM builds itself without a hypervisor reference (its
+        # base-class constructor signature differs), so attach it here.
+        vm._hypervisor = self
+        self._vms[name] = vm
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        """Remove a VM from the host, releasing its resources."""
+        if name not in self._vms:
+            raise ConfigurationError(f"no VM named {name!r} exists")
+        del self._vms[name]
+
+    def get_vm(self, name: str) -> VirtualMachine:
+        """Return the registered VM with the given name."""
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise ConfigurationError(f"no VM named {name!r} exists") from None
+
+    @property
+    def vms(self) -> List[VirtualMachine]:
+        """All registered VMs, in creation order."""
+        return list(self._vms.values())
+
+    @property
+    def workload_vms(self) -> List[VirtualMachine]:
+        """Registered VMs excluding I/O-contention VMs."""
+        return [vm for vm in self._vms.values() if not isinstance(vm, IOContentionVM)]
+
+    # ------------------------------------------------------------------
+    # Resource accounting
+    # ------------------------------------------------------------------
+    def total_cpu_share(self, exclude: Optional[VirtualMachine] = None) -> float:
+        """Sum of CPU shares across registered VMs."""
+        return sum(vm.cpu_share for vm in self._vms.values() if vm is not exclude)
+
+    def total_memory_mb(self, exclude: Optional[VirtualMachine] = None) -> float:
+        """Sum of memory allocations across registered VMs."""
+        return sum(vm.memory_mb for vm in self._vms.values() if vm is not exclude)
+
+    def _check_feasible(self, extra_cpu: float = 0.0, extra_memory: float = 0.0,
+                        exclude: Optional[VirtualMachine] = None) -> None:
+        cpu = self.total_cpu_share(exclude=exclude) + extra_cpu
+        memory = self.total_memory_mb(exclude=exclude) + extra_memory
+        if cpu > 1.0 + _FEASIBILITY_EPSILON:
+            raise AllocationError(
+                f"total CPU share {cpu:.4f} exceeds the physical machine capacity"
+            )
+        if memory > self.machine.memory_mb + _FEASIBILITY_EPSILON:
+            raise AllocationError(
+                f"total memory {memory:.0f}MB exceeds the physical "
+                f"{self.machine.memory_mb:.0f}MB"
+            )
+
+    def validate_cpu_change(self, vm: VirtualMachine, new_share: float) -> None:
+        """Check that changing ``vm``'s CPU share to ``new_share`` is feasible."""
+        self._check_feasible(extra_cpu=new_share, exclude=vm)
+
+    def validate_memory_change(self, vm: VirtualMachine, new_memory_mb: float) -> None:
+        """Check that changing ``vm``'s memory to ``new_memory_mb`` is feasible."""
+        self._check_feasible(extra_memory=new_memory_mb, exclude=vm)
+
+    # ------------------------------------------------------------------
+    # Resource control (the knobs the design advisor turns)
+    # ------------------------------------------------------------------
+    def set_cpu_share(self, name: str, cpu_share: float) -> None:
+        """Set the CPU scheduling share of the named VM."""
+        self.get_vm(name).set_cpu_share(cpu_share)
+
+    def set_memory_mb(self, name: str, memory_mb: float) -> None:
+        """Set the physical memory allocation of the named VM."""
+        self.get_vm(name).set_memory_mb(memory_mb)
+
+    def apply_allocation(
+        self,
+        names: Iterable[str],
+        cpu_shares: Iterable[float],
+        memory_fractions: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Apply a full allocation across several VMs atomically.
+
+        ``memory_fractions`` are fractions of the physical machine's memory;
+        when omitted only the CPU shares are changed.  The combined
+        allocation is validated before any VM is modified so that a failed
+        call leaves the previous configuration in place.
+        """
+        names = list(names)
+        cpu_shares = [validate_fraction(s, "cpu_share") for s in cpu_shares]
+        if len(cpu_shares) != len(names):
+            raise ConfigurationError("names and cpu_shares must have equal length")
+        memory_mbs: Optional[List[float]] = None
+        if memory_fractions is not None:
+            fractions = [validate_fraction(f, "memory_fraction") for f in memory_fractions]
+            if len(fractions) != len(names):
+                raise ConfigurationError(
+                    "names and memory_fractions must have equal length"
+                )
+            memory_mbs = [f * self.machine.memory_mb for f in fractions]
+
+        vms = [self.get_vm(name) for name in names]
+        other_cpu = sum(vm.cpu_share for vm in self._vms.values() if vm not in vms)
+        other_mem = sum(vm.memory_mb for vm in self._vms.values() if vm not in vms)
+        if other_cpu + sum(cpu_shares) > 1.0 + _FEASIBILITY_EPSILON:
+            raise AllocationError("combined CPU shares exceed the physical capacity")
+        if memory_mbs is not None and (
+            other_mem + sum(memory_mbs) > self.machine.memory_mb + _FEASIBILITY_EPSILON
+        ):
+            raise AllocationError("combined memory allocations exceed physical memory")
+
+        for index, vm in enumerate(vms):
+            vm._cpu_share = cpu_shares[index]
+            if memory_mbs is not None:
+                vm._memory_mb = memory_mbs[index]
+
+    # ------------------------------------------------------------------
+    # I/O contention
+    # ------------------------------------------------------------------
+    def io_contention_factor(self, exclude: Optional[VirtualMachine] = None) -> float:
+        """I/O slowdown factor experienced by ``exclude`` (or a new VM)."""
+        factor = 1.0
+        for vm in self._vms.values():
+            if vm is exclude:
+                continue
+            if isinstance(vm, IOContentionVM):
+                factor += vm.contention_contribution()
+        return factor

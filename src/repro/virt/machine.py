@@ -1,0 +1,100 @@
+"""Physical machine model.
+
+The physical machine is described by three things the rest of the system
+cares about:
+
+* how fast it executes CPU work (expressed as *work units per second*, where
+  a work unit is the abstract unit of CPU effort used by the DBMS engine
+  simulators — roughly "the CPU cost of processing one tuple on an
+  unvirtualized host"),
+* how much physical memory it has, and
+* how fast its disk serves sequential and random page reads.
+
+The defaults approximate the paper's testbed: a dual-socket dual-core
+2.2 GHz Opteron with 8 GB of memory and a single local disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ConfigurationError
+from ..units import DEFAULT_PAGE_SIZE, validate_positive
+
+
+@dataclass(frozen=True)
+class DiskProfile:
+    """I/O characteristics of the physical host's storage.
+
+    Attributes:
+        seq_read_ms: milliseconds to read one page sequentially with no
+            contention.
+        random_read_ms: milliseconds to read one page at a random offset with
+            no contention (dominated by seek + rotational latency).
+        write_ms: milliseconds to write one page (used by OLTP workloads).
+        page_size: page size in bytes served by the disk model.
+    """
+
+    seq_read_ms: float = 0.06
+    random_read_ms: float = 6.0
+    write_ms: float = 0.25
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        validate_positive(self.seq_read_ms, "seq_read_ms")
+        validate_positive(self.random_read_ms, "random_read_ms")
+        validate_positive(self.write_ms, "write_ms")
+        if self.page_size <= 0:
+            raise ConfigurationError(
+                f"page_size must be positive, got {self.page_size}"
+            )
+        if self.random_read_ms < self.seq_read_ms:
+            raise ConfigurationError(
+                "random_read_ms must be at least seq_read_ms "
+                f"({self.random_read_ms} < {self.seq_read_ms})"
+            )
+
+
+@dataclass(frozen=True)
+class PhysicalMachine:
+    """The shared physical host on which all virtual machines run.
+
+    Attributes:
+        name: identifier used in reports.
+        cpu_work_units_per_second: CPU work units the host can execute per
+            second when a VM holds 100% of the CPU.  DBMS engines express
+            their CPU effort in these units, so the ground-truth CPU seconds
+            of a plan are ``work_units / (share * this value)``.
+        memory_mb: physical memory available to be divided among VMs.
+        disk: disk I/O characteristics shared by all VMs.
+        cpu_cores: number of cores; informational only (the paper's CPU knob
+            is the scheduler share, which is what we model).
+    """
+
+    name: str = "host"
+    cpu_work_units_per_second: float = 2_000_000.0
+    memory_mb: float = 8192.0
+    disk: DiskProfile = field(default_factory=DiskProfile)
+    cpu_cores: int = 4
+
+    def __post_init__(self) -> None:
+        validate_positive(self.cpu_work_units_per_second, "cpu_work_units_per_second")
+        validate_positive(self.memory_mb, "memory_mb")
+        if self.cpu_cores <= 0:
+            raise ConfigurationError(f"cpu_cores must be positive, got {self.cpu_cores}")
+
+    @property
+    def seconds_per_work_unit(self) -> float:
+        """Seconds needed for one CPU work unit at 100% CPU share."""
+        return 1.0 / self.cpu_work_units_per_second
+
+    def cpu_seconds(self, work_units: float, cpu_share: float) -> float:
+        """Ground-truth CPU seconds for ``work_units`` under ``cpu_share``.
+
+        CPU time is inversely proportional to the share, which is the
+        behaviour the paper verifies experimentally (cost linear in
+        ``1 / allocated CPU fraction``).
+        """
+        if cpu_share <= 0.0:
+            raise ConfigurationError("cpu_share must be positive to run work")
+        return work_units * self.seconds_per_work_unit / cpu_share

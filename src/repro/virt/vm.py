@@ -1,0 +1,177 @@
+"""Virtual machine model and the environment view it exposes.
+
+A :class:`VirtualMachine` is the unit of resource control: the virtualization
+design advisor decides the CPU share and memory allocation of each VM, and
+the hypervisor enforces those settings.  Everything that "runs inside" a VM
+(DBMS engines, calibration probes, the ground-truth execution model) sees the
+VM through a :class:`VMEnvironment` snapshot: the effective cost of CPU work,
+sequential I/O, and random I/O, and the memory left for the DBMS after the
+operating system's reservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..exceptions import ConfigurationError
+from ..units import validate_fraction, validate_non_negative, validate_positive
+from .machine import PhysicalMachine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .hypervisor import Hypervisor
+
+#: Memory reserved for the guest operating system, per the paper's setup
+#: ("we leave 240MB for the operating system").
+DEFAULT_OS_RESERVED_MB = 240.0
+
+
+@dataclass(frozen=True)
+class VMEnvironment:
+    """Snapshot of the execution environment inside a virtual machine.
+
+    The values are *ground truth*: calibration probes measure them (with the
+    measurement procedures of Section 4.3) and the execution model charges
+    them when simulating actual workload run times.
+
+    Attributes:
+        cpu_share: fraction of the physical CPU allocated to the VM.
+        memory_mb: physical memory allocated to the VM, in MB.
+        dbms_memory_mb: memory available to the DBMS after the OS reservation.
+        seconds_per_work_unit: wall-clock seconds per CPU work unit inside
+            the VM (inversely proportional to ``cpu_share``).
+        seq_page_seconds: seconds to read one page sequentially, including
+            I/O contention from other VMs.
+        random_page_seconds: seconds to read one page randomly, including
+            contention.
+        write_page_seconds: seconds to write one page, including contention.
+        page_size: page size in bytes.
+        io_contention_factor: multiplicative slowdown applied to all I/O.
+    """
+
+    cpu_share: float
+    memory_mb: float
+    dbms_memory_mb: float
+    seconds_per_work_unit: float
+    seq_page_seconds: float
+    random_page_seconds: float
+    write_page_seconds: float
+    page_size: int
+    io_contention_factor: float
+
+    def scaled_to_cpu_share(self, cpu_share: float) -> "VMEnvironment":
+        """Return a copy describing the same VM at a different CPU share.
+
+        Only the CPU term changes; I/O characteristics are independent of the
+        CPU share (an observation the paper exploits to optimize
+        calibration).
+        """
+        cpu_share = validate_fraction(cpu_share, "cpu_share")
+        if cpu_share == 0.0:
+            raise ConfigurationError("cpu_share must be positive")
+        return VMEnvironment(
+            cpu_share=cpu_share,
+            memory_mb=self.memory_mb,
+            dbms_memory_mb=self.dbms_memory_mb,
+            seconds_per_work_unit=self.seconds_per_work_unit
+            * (self.cpu_share / cpu_share),
+            seq_page_seconds=self.seq_page_seconds,
+            random_page_seconds=self.random_page_seconds,
+            write_page_seconds=self.write_page_seconds,
+            page_size=self.page_size,
+            io_contention_factor=self.io_contention_factor,
+        )
+
+
+class VirtualMachine:
+    """A virtual machine hosted on a shared physical machine.
+
+    Instances are normally created through
+    :meth:`repro.virt.hypervisor.Hypervisor.create_vm`, which registers the
+    VM so that resource feasibility is enforced across all VMs on the host.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: PhysicalMachine,
+        cpu_share: float,
+        memory_mb: float,
+        os_reserved_mb: float = DEFAULT_OS_RESERVED_MB,
+        hypervisor: Optional["Hypervisor"] = None,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("VM name must be non-empty")
+        self.name = name
+        self.machine = machine
+        self._cpu_share = validate_fraction(cpu_share, "cpu_share")
+        self._memory_mb = validate_positive(memory_mb, "memory_mb")
+        self.os_reserved_mb = validate_non_negative(os_reserved_mb, "os_reserved_mb")
+        self._hypervisor = hypervisor
+
+    # ------------------------------------------------------------------
+    # Resource knobs
+    # ------------------------------------------------------------------
+    @property
+    def cpu_share(self) -> float:
+        """Fraction of the physical CPU currently allocated to this VM."""
+        return self._cpu_share
+
+    @property
+    def memory_mb(self) -> float:
+        """Physical memory (MB) currently allocated to this VM."""
+        return self._memory_mb
+
+    def set_cpu_share(self, cpu_share: float) -> None:
+        """Set the CPU share; feasibility is validated by the hypervisor."""
+        cpu_share = validate_fraction(cpu_share, "cpu_share")
+        if self._hypervisor is not None:
+            self._hypervisor.validate_cpu_change(self, cpu_share)
+        self._cpu_share = cpu_share
+
+    def set_memory_mb(self, memory_mb: float) -> None:
+        """Set the memory allocation; feasibility is validated by the hypervisor."""
+        memory_mb = validate_positive(memory_mb, "memory_mb")
+        if self._hypervisor is not None:
+            self._hypervisor.validate_memory_change(self, memory_mb)
+        self._memory_mb = memory_mb
+
+    # ------------------------------------------------------------------
+    # Environment view
+    # ------------------------------------------------------------------
+    @property
+    def dbms_memory_mb(self) -> float:
+        """Memory left for the DBMS after the OS reservation."""
+        return max(0.0, self._memory_mb - self.os_reserved_mb)
+
+    def io_contention_factor(self) -> float:
+        """Multiplicative I/O slowdown experienced by this VM."""
+        if self._hypervisor is None:
+            return 1.0
+        return self._hypervisor.io_contention_factor(exclude=self)
+
+    def environment(self) -> VMEnvironment:
+        """Return the ground-truth execution environment inside this VM."""
+        if self._cpu_share <= 0.0:
+            raise ConfigurationError(
+                f"VM {self.name!r} has no CPU allocated; cannot build environment"
+            )
+        disk = self.machine.disk
+        contention = self.io_contention_factor()
+        return VMEnvironment(
+            cpu_share=self._cpu_share,
+            memory_mb=self._memory_mb,
+            dbms_memory_mb=self.dbms_memory_mb,
+            seconds_per_work_unit=self.machine.seconds_per_work_unit / self._cpu_share,
+            seq_page_seconds=disk.seq_read_ms / 1000.0 * contention,
+            random_page_seconds=disk.random_read_ms / 1000.0 * contention,
+            write_page_seconds=disk.write_ms / 1000.0 * contention,
+            page_size=disk.page_size,
+            io_contention_factor=contention,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VirtualMachine(name={self.name!r}, cpu_share={self._cpu_share:.3f}, "
+            f"memory_mb={self._memory_mb:.0f})"
+        )

@@ -1,0 +1,36 @@
+"""Workload models: TPC-H and TPC-C style databases, queries, and mixes.
+
+The paper evaluates its advisor with DSS (TPC-H) and OLTP (TPC-C) workloads
+built from "workload units" — small bundles of queries scaled so that
+different units have comparable run times.  This package provides:
+
+* :mod:`repro.workloads.tpch` — a TPC-H style schema at arbitrary scale
+  factor and the 22 query templates as logical query descriptors;
+* :mod:`repro.workloads.tpcc` — a TPC-C style schema at arbitrary warehouse
+  count and the five transaction templates;
+* :mod:`repro.workloads.workload` — the :class:`Workload` abstraction (a
+  weighted set of statements observed over a common monitoring interval);
+* :mod:`repro.workloads.units` — the C/I/B/D workload units of
+  Sections 7.3–7.4 and helpers to combine them;
+* :mod:`repro.workloads.generator` — seeded random workload generators used
+  by the random-workload experiments of Sections 7.6–7.9.
+"""
+
+from .tpcc import TPCC_TRANSACTION_NAMES, tpcc_database, tpcc_transactions
+from .tpch import TPCH_QUERY_NAMES, tpch_database, tpch_queries
+from .units import WorkloadUnit, build_unit, repeat_unit
+from .workload import Workload, WorkloadStatement
+
+__all__ = [
+    "TPCC_TRANSACTION_NAMES",
+    "TPCH_QUERY_NAMES",
+    "Workload",
+    "WorkloadStatement",
+    "WorkloadUnit",
+    "build_unit",
+    "repeat_unit",
+    "tpcc_database",
+    "tpcc_transactions",
+    "tpch_database",
+    "tpch_queries",
+]

@@ -1,0 +1,258 @@
+"""Seeded random workload generators.
+
+The random-workload experiments of Sections 7.6, 7.7, and 7.9 draw
+workloads from specific distributions ("a random mix of between 10 and 20
+workload units", "up to 40 randomly chosen TPC-H queries", "5 to 10 clients
+accessing each warehouse").  These generators reproduce those distributions
+deterministically from a seed so benchmarks and tests are repeatable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..dbms.query import QuerySpec
+from ..exceptions import WorkloadError
+from .tpcc import TPCC_MIX
+from .tpch import TPCH_QUERY_NAMES
+from .workload import Workload, WorkloadStatement
+
+#: Transactions each TPC-C client issues during one monitoring interval
+#: (roughly one transaction every three seconds over a 30-minute period).
+TRANSACTIONS_PER_CLIENT = 600.0
+
+
+def _require(queries: Mapping[str, QuerySpec], names: Sequence[str]) -> None:
+    missing = [name for name in names if name not in queries]
+    if missing:
+        raise WorkloadError(f"query templates missing from the supplied set: {missing}")
+
+
+def modified_q18(queries: Mapping[str, QuerySpec], touch_fraction: float = 0.05) -> QuerySpec:
+    """The Section 7.6 variant of Q18 with an extra WHERE predicate.
+
+    The added predicate makes the query touch less data (so it spends less
+    time waiting for I/O) while keeping its CPU-heavy character.
+    """
+    _require(queries, ["q18"])
+    if not 0.0 < touch_fraction <= 1.0:
+        raise WorkloadError("touch_fraction must be in (0, 1]")
+    base = queries["q18"]
+    lighter = base.scaled(touch_fraction)
+    joins = tuple(
+        dataclasses.replace(
+            step,
+            access=dataclasses.replace(
+                step.access, selectivity=min(1.0, step.access.selectivity * touch_fraction)
+            ),
+        )
+        for step in lighter.joins
+    )
+    return dataclasses.replace(lighter, name="q18_mod", joins=joins)
+
+
+def random_tpch_cpu_workloads(
+    queries: Mapping[str, QuerySpec],
+    count: int = 10,
+    seed: int = 7,
+    min_units: int = 10,
+    max_units: int = 20,
+    q18_copies_per_unit: float = 66.0,
+) -> List[Workload]:
+    """Random TPC-H workloads for the Section 7.6 CPU-allocation experiment.
+
+    Each workload is a random mix of ``min_units``–``max_units`` units, where
+    a unit is either one copy of Q17 or ``q18_copies_per_unit`` copies of the
+    modified Q18.
+    """
+    _require(queries, ["q17", "q18"])
+    if count <= 0:
+        raise WorkloadError("count must be positive")
+    rng = random.Random(seed)
+    q17 = queries["q17"]
+    q18m = modified_q18(queries)
+    workloads = []
+    for index in range(count):
+        units = rng.randint(min_units, max_units)
+        q17_units = rng.randint(0, units)
+        q18_units = units - q17_units
+        statements = []
+        if q17_units:
+            statements.append(WorkloadStatement(query=q17, frequency=float(q17_units)))
+        if q18_units:
+            statements.append(
+                WorkloadStatement(
+                    query=q18m, frequency=float(q18_units) * q18_copies_per_unit
+                )
+            )
+        workloads.append(
+            Workload(name=f"tpch-rand-{index + 1}", statements=tuple(statements))
+        )
+    return workloads
+
+
+def random_tpch_query_workload(
+    queries: Mapping[str, QuerySpec],
+    name: str,
+    rng: random.Random,
+    max_queries: int = 40,
+) -> Workload:
+    """A workload of up to ``max_queries`` randomly chosen TPC-H queries."""
+    available = [queries[q] for q in TPCH_QUERY_NAMES if q in queries]
+    if not available:
+        raise WorkloadError("no TPC-H query templates supplied")
+    total = rng.randint(max(1, max_queries // 4), max_queries)
+    counts: Dict[str, float] = {}
+    chosen: Dict[str, QuerySpec] = {}
+    for _ in range(total):
+        query = rng.choice(available)
+        counts[query.name] = counts.get(query.name, 0.0) + 1.0
+        chosen[query.name] = query
+    statements = tuple(
+        WorkloadStatement(query=chosen[qname], frequency=count)
+        for qname, count in sorted(counts.items())
+    )
+    return Workload(name=name, statements=statements)
+
+
+def tpcc_workload(
+    transactions: Mapping[str, QuerySpec],
+    name: str,
+    warehouses_accessed: int,
+    clients_per_warehouse: int,
+    transactions_per_client: float = TRANSACTIONS_PER_CLIENT,
+) -> Workload:
+    """A TPC-C workload with the given client population.
+
+    The total number of transactions in the monitoring interval is
+    ``warehouses_accessed * clients_per_warehouse * transactions_per_client``,
+    split across transaction types according to the standard TPC-C mix.
+    """
+    _require(transactions, list(TPCC_MIX))
+    if warehouses_accessed <= 0 or clients_per_warehouse <= 0:
+        raise WorkloadError("warehouses_accessed and clients_per_warehouse must be positive")
+    total = warehouses_accessed * clients_per_warehouse * transactions_per_client
+    statements = tuple(
+        WorkloadStatement(query=transactions[txn], frequency=total * fraction)
+        for txn, fraction in TPCC_MIX.items()
+    )
+    return Workload(name=name, statements=statements)
+
+
+def random_mixed_workloads(
+    tpch_sf1_queries: Mapping[str, QuerySpec],
+    tpch_sf10_queries: Mapping[str, QuerySpec],
+    tpcc_transactions: Mapping[str, QuerySpec],
+    seed: int = 11,
+) -> List[Workload]:
+    """The 10 mixed TPC-C + TPC-H workloads of Sections 7.6 and 7.8.
+
+    Five workloads are TPC-C (2–10 warehouses, 5–10 clients per warehouse);
+    the other five are TPC-H workloads of up to 40 random queries, four of
+    them on the scale-factor-1 database and one on the scale-factor-10
+    database.
+    """
+    rng = random.Random(seed)
+    workloads: List[Workload] = []
+    for index in range(5):
+        workloads.append(
+            tpcc_workload(
+                tpcc_transactions,
+                name=f"tpcc-{index + 1}",
+                warehouses_accessed=rng.randint(2, 10),
+                clients_per_warehouse=rng.randint(5, 10),
+            )
+        )
+    for index in range(4):
+        workloads.append(
+            random_tpch_query_workload(
+                tpch_sf1_queries, name=f"tpch1-{index + 1}", rng=rng
+            )
+        )
+    workloads.append(
+        random_tpch_query_workload(tpch_sf10_queries, name="tpch10-1", rng=rng)
+    )
+    # Interleave OLTP and DSS workloads so that every prefix of the list
+    # (the experiments use the first N) contains both kinds.
+    interleaved: List[Workload] = []
+    oltp, dss = workloads[:5], workloads[5:]
+    for pair in zip(oltp, dss):
+        interleaved.extend(pair)
+    return interleaved
+
+
+def random_multi_resource_workloads(
+    tpch_sf10_queries: Mapping[str, QuerySpec],
+    tpch_sf1_queries: Mapping[str, QuerySpec],
+    count: int = 10,
+    seed: int = 13,
+    max_units: int = 10,
+) -> List[Workload]:
+    """The Section 7.7 workloads used for CPU + memory allocation.
+
+    A unit is either (1 × Q7 + 1 × Q21) on the scale-factor-10 database or
+    150 × Q18 on the scale-factor-1 database; each workload contains up to
+    ``max_units`` units of a single kind (each workload targets exactly one
+    database, as in the paper where each VM hosts one database).
+    """
+    _require(tpch_sf10_queries, ["q7", "q21"])
+    _require(tpch_sf1_queries, ["q18"])
+    rng = random.Random(seed)
+    workloads = []
+    for index in range(count):
+        units = rng.randint(1, max_units)
+        if rng.random() < 0.5:
+            statements = (
+                WorkloadStatement(query=tpch_sf10_queries["q7"], frequency=float(units)),
+                WorkloadStatement(query=tpch_sf10_queries["q21"], frequency=float(units)),
+            )
+        else:
+            statements = (
+                WorkloadStatement(
+                    query=tpch_sf1_queries["q18"], frequency=150.0 * units
+                ),
+            )
+        workloads.append(
+            Workload(name=f"multi-rand-{index + 1}", statements=tuple(statements))
+        )
+    return workloads
+
+
+def sortheap_sensitive_workloads(
+    tpch_sf10_queries: Mapping[str, QuerySpec],
+    count: int = 10,
+    seed: int = 17,
+    min_units: int = 10,
+    max_units: int = 20,
+) -> List[Workload]:
+    """The Section 7.9 workloads exposing the DB2 sortheap underestimation.
+
+    The first unit type contains Q4 and Q18 (queries whose benefit from a
+    larger sort heap the optimizer underestimates); the second contains a
+    mix of Q8, Q16, and Q20.
+    """
+    _require(tpch_sf10_queries, ["q4", "q18", "q8", "q16", "q20"])
+    rng = random.Random(seed)
+    workloads = []
+    for index in range(count):
+        units = rng.randint(min_units, max_units)
+        sensitive_units = rng.randint(0, units)
+        other_units = units - sensitive_units
+        counts: Dict[str, float] = {}
+        if sensitive_units:
+            counts["q4"] = float(sensitive_units)
+            counts["q18"] = float(sensitive_units)
+        if other_units:
+            counts["q8"] = float(other_units)
+            counts["q16"] = float(other_units)
+            counts["q20"] = float(other_units)
+        statements = tuple(
+            WorkloadStatement(query=tpch_sf10_queries[qname], frequency=frequency)
+            for qname, frequency in sorted(counts.items())
+        )
+        workloads.append(
+            Workload(name=f"sortheap-rand-{index + 1}", statements=statements)
+        )
+    return workloads

@@ -1,0 +1,251 @@
+"""TPC-C style schema, statistics, and the five transaction templates.
+
+The OLTP side of the paper's evaluation uses TPC-C workloads.  What matters
+to the virtualization design advisor is that
+
+* the transactions are short, index-driven, and far less CPU-intensive per
+  statement than the DSS queries, and
+* their true cost includes locking, logging, and page-dirtying work that the
+  query optimizer does not model, so the optimizer *underestimates* the CPU
+  needs of a TPC-C workload (the effect corrected by online refinement in
+  Section 7.8).
+
+The five transaction templates (``new_order``, ``payment``,
+``order_status``, ``delivery``, ``stock_level``) follow the standard TPC-C
+profile: roughly 45/43/4/4/4 percent of the mix, with the first two being
+update-heavy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..dbms.catalog import Database
+from ..dbms.query import AggregateSpec, JoinStep, QuerySpec, TableAccess, UpdateProfile
+from ..exceptions import WorkloadError
+
+#: Canonical TPC-C transaction names.
+TPCC_TRANSACTION_NAMES: List[str] = [
+    "new_order",
+    "payment",
+    "order_status",
+    "delivery",
+    "stock_level",
+]
+
+#: Standard TPC-C transaction mix (fraction of executions per transaction).
+TPCC_MIX: Dict[str, float] = {
+    "new_order": 0.45,
+    "payment": 0.43,
+    "order_status": 0.04,
+    "delivery": 0.04,
+    "stock_level": 0.04,
+}
+
+# Rows per warehouse for each table (item is fixed-size).
+_ROWS_PER_WAREHOUSE = {
+    "warehouse": 1,
+    "district": 10,
+    "customer": 30_000,
+    "history": 30_000,
+    "orders": 30_000,
+    "new_order": 9_000,
+    "order_line": 300_000,
+    "stock": 100_000,
+}
+_FIXED_ROWS = {"item": 100_000}
+
+_ROW_WIDTHS = {
+    "warehouse": 89,
+    "district": 95,
+    "customer": 655,
+    "history": 46,
+    "orders": 24,
+    "new_order": 8,
+    "order_line": 54,
+    "stock": 306,
+    "item": 82,
+}
+
+
+def tpcc_database(warehouses: int = 10, name: str | None = None) -> Database:
+    """Build a TPC-C style database catalog for the given warehouse count."""
+    if warehouses <= 0:
+        raise WorkloadError(f"warehouses must be positive, got {warehouses}")
+    database = Database(name or f"tpcc_w{warehouses}")
+    for table, per_warehouse in _ROWS_PER_WAREHOUSE.items():
+        database.create_table(
+            name=table,
+            row_count=per_warehouse * warehouses,
+            row_width_bytes=_ROW_WIDTHS[table],
+        )
+    for table, rows in _FIXED_ROWS.items():
+        database.create_table(
+            name=table, row_count=rows, row_width_bytes=_ROW_WIDTHS[table]
+        )
+    # Primary-key indexes on every table; all OLTP access is index-driven.
+    for table in list(_ROWS_PER_WAREHOUSE) + list(_FIXED_ROWS):
+        database.create_index(
+            f"pk_{table}", table, key_width_bytes=12, unique=True, clustered=False
+        )
+    database.create_index("idx_customer_name", "customer", key_width_bytes=24)
+    database.create_index("idx_orders_customer", "orders", key_width_bytes=16)
+    return database
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _point_access(
+    db: Database,
+    table: str,
+    rows: float,
+    predicates: float = 1.0,
+) -> TableAccess:
+    """An index-based access that touches roughly ``rows`` rows."""
+    table_rows = max(1.0, db.table(table).row_count)
+    selectivity = min(1.0, rows / table_rows)
+    return TableAccess(
+        table=table,
+        selectivity=selectivity,
+        predicates_per_row=predicates,
+        index=f"pk_{table}",
+        index_selectivity=selectivity,
+        output_width_bytes=min(64, _ROW_WIDTHS[table]),
+    )
+
+
+def _lookup_join(db: Database, access: TableAccess, matches_per_outer: float) -> JoinStep:
+    """A join step that finds ``matches_per_outer`` rows per outer row."""
+    inner_rows = max(1.0, db.table(access.table).row_count * access.selectivity)
+    selectivity = min(1.0, matches_per_outer / inner_rows)
+    return JoinStep(access=access, selectivity=selectivity, join_predicates=1.0)
+
+
+# ----------------------------------------------------------------------
+# Transaction templates
+# ----------------------------------------------------------------------
+def _new_order(db: Database) -> QuerySpec:
+    """NEW-ORDER: ~10 item/stock lookups plus order/order-line inserts."""
+    return QuerySpec(
+        name="new_order",
+        database=db.name,
+        driver=_point_access(db, "district", rows=1.0, predicates=2.0),
+        joins=(
+            _lookup_join(db, _point_access(db, "customer", rows=1.0), 1.0),
+            _lookup_join(db, _point_access(db, "item", rows=10.0, predicates=2.0), 10.0),
+            _lookup_join(db, _point_access(db, "stock", rows=10.0, predicates=2.0), 1.0),
+        ),
+        result_rows=10,
+        cpu_work_per_tuple=1.0,
+        update=UpdateProfile(
+            rows_written=23.0,          # order + new_order + 10 order_lines + 10 stock + district
+            pages_dirtied=14.0,
+            log_bytes=8192.0,
+            lock_wait_work_units=2500.0,
+        ),
+        sql="-- TPC-C NEW-ORDER transaction",
+    )
+
+
+def _payment(db: Database) -> QuerySpec:
+    """PAYMENT: warehouse/district/customer updates plus a history insert."""
+    return QuerySpec(
+        name="payment",
+        database=db.name,
+        driver=_point_access(db, "warehouse", rows=1.0),
+        joins=(
+            _lookup_join(db, _point_access(db, "district", rows=1.0), 1.0),
+            _lookup_join(db, _point_access(db, "customer", rows=1.0, predicates=2.0), 1.0),
+        ),
+        result_rows=1,
+        cpu_work_per_tuple=1.0,
+        update=UpdateProfile(
+            rows_written=4.0,
+            pages_dirtied=4.0,
+            log_bytes=2048.0,
+            lock_wait_work_units=1500.0,
+        ),
+        sql="-- TPC-C PAYMENT transaction",
+    )
+
+
+def _order_status(db: Database) -> QuerySpec:
+    """ORDER-STATUS: read-only lookup of a customer's latest order."""
+    return QuerySpec(
+        name="order_status",
+        database=db.name,
+        driver=_point_access(db, "customer", rows=1.0, predicates=2.0),
+        joins=(
+            _lookup_join(db, _point_access(db, "orders", rows=1.0), 1.0),
+            _lookup_join(db, _point_access(db, "order_line", rows=10.0), 10.0),
+        ),
+        result_rows=10,
+        cpu_work_per_tuple=1.0,
+        sql="-- TPC-C ORDER-STATUS transaction",
+    )
+
+
+def _delivery(db: Database) -> QuerySpec:
+    """DELIVERY: batch update of ten orders and their order lines."""
+    return QuerySpec(
+        name="delivery",
+        database=db.name,
+        driver=_point_access(db, "new_order", rows=10.0),
+        joins=(
+            _lookup_join(db, _point_access(db, "orders", rows=10.0), 1.0),
+            _lookup_join(db, _point_access(db, "order_line", rows=100.0), 10.0),
+            _lookup_join(db, _point_access(db, "customer", rows=10.0), 0.1),
+        ),
+        result_rows=10,
+        cpu_work_per_tuple=1.0,
+        update=UpdateProfile(
+            rows_written=130.0,
+            pages_dirtied=40.0,
+            log_bytes=32_768.0,
+            lock_wait_work_units=6000.0,
+        ),
+        sql="-- TPC-C DELIVERY transaction",
+    )
+
+
+def _stock_level(db: Database) -> QuerySpec:
+    """STOCK-LEVEL: read-only join of recent order lines with stock."""
+    return QuerySpec(
+        name="stock_level",
+        database=db.name,
+        driver=_point_access(db, "order_line", rows=200.0),
+        joins=(
+            _lookup_join(db, _point_access(db, "stock", rows=200.0, predicates=2.0), 1.0),
+        ),
+        aggregate=AggregateSpec(group_fraction=0.0, aggregates=1.0),
+        result_rows=1,
+        cpu_work_per_tuple=1.0,
+        sql="-- TPC-C STOCK-LEVEL transaction",
+    )
+
+
+_TRANSACTION_BUILDERS: Dict[str, Callable[[Database], QuerySpec]] = {
+    "new_order": _new_order,
+    "payment": _payment,
+    "order_status": _order_status,
+    "delivery": _delivery,
+    "stock_level": _stock_level,
+}
+
+
+def tpcc_transactions(database: Database) -> Dict[str, QuerySpec]:
+    """Build the five TPC-C transaction templates against the given database."""
+    return {name: builder(database) for name, builder in _TRANSACTION_BUILDERS.items()}
+
+
+def tpcc_transaction(database: Database, name: str) -> QuerySpec:
+    """Build a single TPC-C transaction template by name."""
+    try:
+        builder = _TRANSACTION_BUILDERS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown TPC-C transaction {name!r}; expected one of "
+            f"{TPCC_TRANSACTION_NAMES}"
+        ) from None
+    return builder(database)

@@ -1,0 +1,165 @@
+"""Workload units.
+
+The controlled experiments of Sections 7.3 and 7.4 build workloads out of
+small "units" scaled to have roughly the same completion time at full
+resource allocation, so that differences in the advisor's recommendations
+come from differences in *resource needs*, not simply workload length:
+
+* ``C`` — CPU intensive: many instances of TPC-H Q18 (25 for DB2, 20 for
+  PostgreSQL in the paper).
+* ``I`` — CPU non-intensive: a single instance of TPC-H Q21.
+* ``B`` — memory intensive: a single instance of TPC-H Q7 (10 GB DB2).
+* ``D`` — memory non-intensive: 150 instances of TPC-H Q16.
+
+This module provides those units plus general helpers for composing units
+into workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+from ..dbms.query import QuerySpec
+from ..exceptions import WorkloadError
+from .workload import DEFAULT_MONITORING_INTERVAL_SECONDS, Workload, WorkloadStatement
+
+
+@dataclass(frozen=True)
+class WorkloadUnit:
+    """A reusable bundle of statements used to compose workloads."""
+
+    name: str
+    statements: Tuple[WorkloadStatement, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("workload unit name must be non-empty")
+        if not self.statements:
+            raise WorkloadError(f"workload unit {self.name!r} has no statements")
+
+    def scaled(self, factor: float) -> Tuple[WorkloadStatement, ...]:
+        """Statements of this unit with frequencies multiplied by ``factor``."""
+        if factor < 0:
+            raise WorkloadError("unit scale factor must not be negative")
+        return tuple(stmt.scaled(factor) for stmt in self.statements)
+
+
+def build_unit(
+    name: str,
+    queries: Mapping[str, QuerySpec],
+    counts: Mapping[str, float],
+) -> WorkloadUnit:
+    """Build a unit from named queries and per-query instance counts."""
+    statements = []
+    for query_name, count in counts.items():
+        if query_name not in queries:
+            raise WorkloadError(
+                f"unit {name!r} references unknown query {query_name!r}"
+            )
+        if count < 0:
+            raise WorkloadError(f"unit {name!r} has a negative count for {query_name!r}")
+        statements.append(WorkloadStatement(query=queries[query_name], frequency=count))
+    return WorkloadUnit(name=name, statements=tuple(statements))
+
+
+def repeat_unit(unit: WorkloadUnit, times: float) -> Tuple[WorkloadStatement, ...]:
+    """Statements corresponding to ``times`` repetitions of a unit."""
+    return unit.scaled(times)
+
+
+def compose_workload(
+    name: str,
+    parts: Sequence[Tuple[WorkloadUnit, float]],
+    monitoring_interval_seconds: float = DEFAULT_MONITORING_INTERVAL_SECONDS,
+) -> Workload:
+    """Compose a workload from ``(unit, repetitions)`` pairs."""
+    statements: Tuple[WorkloadStatement, ...] = ()
+    for unit, times in parts:
+        statements = statements + repeat_unit(unit, times)
+    if not statements:
+        raise WorkloadError(f"workload {name!r} would be empty")
+    return Workload(
+        name=name,
+        statements=statements,
+        monitoring_interval_seconds=monitoring_interval_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# The paper's standard units
+# ----------------------------------------------------------------------
+#: Instances of Q18 per CPU-intensive unit, per engine (Section 7.3).
+CPU_UNIT_Q18_INSTANCES: Dict[str, float] = {"db2": 25.0, "postgresql": 20.0}
+
+#: Instances of Q16 per memory-non-intensive unit (Section 7.4).
+MEMORY_UNIT_Q16_INSTANCES = 150.0
+
+
+def cpu_intensive_unit(queries: Mapping[str, QuerySpec], engine_name: str) -> WorkloadUnit:
+    """The ``C`` unit: multiple instances of TPC-H Q18."""
+    if engine_name not in CPU_UNIT_Q18_INSTANCES:
+        raise WorkloadError(
+            f"no C-unit definition for engine {engine_name!r}; expected one of "
+            f"{sorted(CPU_UNIT_Q18_INSTANCES)}"
+        )
+    instances = CPU_UNIT_Q18_INSTANCES[engine_name]
+    return build_unit(f"C[{engine_name}]", queries, {"q18": instances})
+
+
+def cpu_nonintensive_unit(queries: Mapping[str, QuerySpec], engine_name: str) -> WorkloadUnit:
+    """The ``I`` unit: a single instance of TPC-H Q21."""
+    return build_unit(f"I[{engine_name}]", queries, {"q21": 1.0})
+
+
+def memory_intensive_unit(queries: Mapping[str, QuerySpec]) -> WorkloadUnit:
+    """The ``B`` unit: a single instance of TPC-H Q7."""
+    return build_unit("B", queries, {"q7": 1.0})
+
+
+def memory_nonintensive_unit(queries: Mapping[str, QuerySpec]) -> WorkloadUnit:
+    """The ``D`` unit: many instances of TPC-H Q16."""
+    return build_unit("D", queries, {"q16": MEMORY_UNIT_Q16_INSTANCES})
+
+
+def mixed_cpu_workload(
+    name: str,
+    queries: Mapping[str, QuerySpec],
+    engine_name: str,
+    cpu_units: float,
+    noncpu_units: float,
+) -> Workload:
+    """A workload of ``cpu_units`` C units and ``noncpu_units`` I units.
+
+    This is the building block of the Section 7.3 experiments
+    (``W = kC + (n-k)I``).
+    """
+    parts = []
+    if cpu_units > 0:
+        parts.append((cpu_intensive_unit(queries, engine_name), cpu_units))
+    if noncpu_units > 0:
+        parts.append((cpu_nonintensive_unit(queries, engine_name), noncpu_units))
+    if not parts:
+        raise WorkloadError(f"workload {name!r} must contain at least one unit")
+    return compose_workload(name, parts)
+
+
+def mixed_memory_workload(
+    name: str,
+    queries: Mapping[str, QuerySpec],
+    memory_units: float,
+    nonmemory_units: float,
+) -> Workload:
+    """A workload of ``memory_units`` B units and ``nonmemory_units`` D units.
+
+    This is the building block of the Section 7.4 experiment
+    (``W = kB + (n-k)D``).
+    """
+    parts = []
+    if memory_units > 0:
+        parts.append((memory_intensive_unit(queries), memory_units))
+    if nonmemory_units > 0:
+        parts.append((memory_nonintensive_unit(queries), nonmemory_units))
+    if not parts:
+        raise WorkloadError(f"workload {name!r} must contain at least one unit")
+    return compose_workload(name, parts)

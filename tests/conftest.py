@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+Engines, calibrations, and workload templates are expensive enough to build
+that tests share session-scoped instances where mutation is not a concern.
+Anything a test mutates is built fresh inside the test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import CalibrationSettings, calibrate_engine
+from repro.dbms.db2 import DB2Engine
+from repro.dbms.postgres import PostgreSQLEngine
+from repro.virt.machine import PhysicalMachine
+from repro.workloads.tpcc import tpcc_database, tpcc_transactions
+from repro.workloads.tpch import tpch_database, tpch_queries
+
+#: A small calibration grid keeps the fixtures fast while still exercising
+#: the regression over multiple CPU levels.
+FAST_CALIBRATION = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
+
+
+@pytest.fixture(scope="session")
+def machine() -> PhysicalMachine:
+    """The shared physical machine used across tests."""
+    return PhysicalMachine()
+
+
+@pytest.fixture(scope="session")
+def tpch_sf1():
+    """A scale-factor-1 TPC-H database catalog."""
+    return tpch_database(1.0)
+
+
+@pytest.fixture(scope="session")
+def tpch_sf1_queries(tpch_sf1):
+    """The 22 TPC-H query templates against the SF1 catalog."""
+    return tpch_queries(tpch_sf1)
+
+
+@pytest.fixture(scope="session")
+def tpcc_w10():
+    """A 10-warehouse TPC-C database catalog."""
+    return tpcc_database(10)
+
+
+@pytest.fixture(scope="session")
+def tpcc_w10_transactions(tpcc_w10):
+    """The five TPC-C transaction templates against the 10-warehouse catalog."""
+    return tpcc_transactions(tpcc_w10)
+
+
+@pytest.fixture(scope="session")
+def pg_engine(tpch_sf1):
+    """A PostgreSQL engine bound to the SF1 TPC-H database."""
+    return PostgreSQLEngine(tpch_sf1)
+
+
+@pytest.fixture(scope="session")
+def db2_engine(tpch_sf1):
+    """A DB2 engine bound to the SF1 TPC-H database."""
+    return DB2Engine(tpch_sf1)
+
+
+@pytest.fixture(scope="session")
+def pg_calibration(pg_engine, machine):
+    """A calibrated PostgreSQL engine."""
+    return calibrate_engine(pg_engine, machine, FAST_CALIBRATION)
+
+
+@pytest.fixture(scope="session")
+def db2_calibration(db2_engine, machine):
+    """A calibrated DB2 engine."""
+    return calibrate_engine(db2_engine, machine, FAST_CALIBRATION)

@@ -1,0 +1,91 @@
+"""Tests for the cache model and the memory-sizing policies."""
+
+import pytest
+
+from repro.dbms.cache import effective_page_reads, miss_fraction
+from repro.dbms.memory import (
+    DB2MemoryPolicy,
+    FixedMemoryPolicy,
+    MemoryConfiguration,
+    PostgresMemoryPolicy,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCacheModel:
+    def test_fitting_working_set_never_misses(self):
+        assert miss_fraction(100, 200) == 0.0
+
+    def test_oversized_working_set_misses_proportionally(self):
+        assert miss_fraction(200, 100) == pytest.approx(0.5)
+
+    def test_empty_working_set(self):
+        assert miss_fraction(0, 100) == 0.0
+
+    def test_effective_reads_bounded_by_logical(self):
+        assert effective_page_reads(1000, 400, 100) <= 1000
+        assert effective_page_reads(1000, 400, 100) == pytest.approx(750.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            miss_fraction(-1, 10)
+        with pytest.raises(ConfigurationError):
+            effective_page_reads(-1, 10, 10)
+
+
+class TestPostgresMemoryPolicy:
+    def test_default_split_matches_paper(self):
+        config = PostgresMemoryPolicy().configure(1600.0)
+        assert config.buffer_pool_mb == pytest.approx(1000.0)
+        assert config.work_mem_mb == 5.0
+
+    def test_fixed_shared_buffers(self):
+        config = PostgresMemoryPolicy(fixed_shared_buffers_mb=32.0).configure(4000.0)
+        assert config.buffer_pool_mb == 32.0
+
+    def test_os_cache_gets_the_rest(self):
+        config = PostgresMemoryPolicy().configure(1600.0)
+        assert config.os_cache_mb == pytest.approx(1600.0 - 1000.0 - 5.0)
+        assert config.total_cache_mb == pytest.approx(1595.0)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PostgresMemoryPolicy(shared_buffers_fraction=0.0)
+
+
+class TestDB2MemoryPolicy:
+    def test_default_split_matches_paper(self):
+        config = DB2MemoryPolicy().configure(1000.0)
+        assert config.buffer_pool_mb == pytest.approx(700.0)
+        assert config.work_mem_mb == pytest.approx(300.0)
+
+    def test_fixed_sizes(self):
+        config = DB2MemoryPolicy(fixed_bufferpool_mb=190.0,
+                                 fixed_sortheap_mb=40.0).configure(512.0)
+        assert config.buffer_pool_mb == 190.0
+        assert config.work_mem_mb == 40.0
+
+    def test_minimum_sortheap_enforced(self):
+        config = DB2MemoryPolicy(min_sortheap_mb=8.0).configure(0.0)
+        assert config.work_mem_mb >= 8.0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DB2MemoryPolicy(bufferpool_fraction=1.0)
+
+
+class TestFixedPolicyAndConfiguration:
+    def test_fixed_policy_ignores_memory(self):
+        policy = FixedMemoryPolicy(buffer_pool_mb=100.0, work_mem_mb=10.0)
+        assert policy.configure(100).buffer_pool_mb == 100.0
+        assert policy.configure(10_000).buffer_pool_mb == 100.0
+
+    def test_policy_is_callable(self):
+        policy = FixedMemoryPolicy(buffer_pool_mb=100.0, work_mem_mb=10.0)
+        assert policy(512).work_mem_mb == 10.0
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfiguration(buffer_pool_mb=-1.0, work_mem_mb=5.0)
+        with pytest.raises(ConfigurationError):
+            MemoryConfiguration(buffer_pool_mb=10.0, work_mem_mb=0.0)

@@ -1,0 +1,99 @@
+"""Tests for the catalog and statistics layer."""
+
+import pytest
+
+from repro.dbms.catalog import Column, Database, Index, Table
+from repro.exceptions import ConfigurationError
+
+
+class TestTable:
+    def test_pages_derived_from_rows_and_width(self):
+        table = Table(name="t", row_count=10_000, row_width_bytes=100)
+        assert table.pages >= 10_000 * 100 / table.page_size
+        assert table.rows_per_page > 1
+
+    def test_empty_table_occupies_one_page(self):
+        table = Table(name="t", row_count=0, row_width_bytes=100)
+        assert table.pages == 1.0
+
+    def test_size_mb_consistent_with_pages(self):
+        table = Table(name="t", row_count=100_000, row_width_bytes=64)
+        assert table.size_mb == pytest.approx(table.pages * table.page_size / 2 ** 20)
+
+    def test_column_lookup(self):
+        table = Table(
+            name="t", row_count=10, row_width_bytes=16,
+            columns=(Column("a"), Column("b", width_bytes=4)),
+        )
+        assert table.column("b").width_bytes == 4
+        with pytest.raises(ConfigurationError):
+            table.column("missing")
+
+    def test_invalid_statistics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table(name="t", row_count=-1, row_width_bytes=10)
+        with pytest.raises(ConfigurationError):
+            Table(name="t", row_count=1, row_width_bytes=0)
+        with pytest.raises(ConfigurationError):
+            Table(name="", row_count=1, row_width_bytes=8)
+
+
+class TestIndex:
+    def test_leaf_pages_scale_with_rows(self):
+        small = Table(name="t", row_count=10_000, row_width_bytes=100)
+        large = Table(name="t", row_count=1_000_000, row_width_bytes=100)
+        index = Index(name="i", table="t", key_width_bytes=8)
+        assert index.leaf_pages(large) > index.leaf_pages(small)
+
+    def test_height_grows_slowly(self):
+        table = Table(name="t", row_count=10_000_000, row_width_bytes=100)
+        index = Index(name="i", table="t", key_width_bytes=8)
+        assert 2 <= index.height(table) <= 5
+
+    def test_invalid_definition_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Index(name="", table="t")
+        with pytest.raises(ConfigurationError):
+            Index(name="i", table="t", key_width_bytes=0)
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        database = Database("db")
+        database.create_table("t", row_count=1000, row_width_bytes=50)
+        database.create_index("i", "t")
+        assert database.has_table("t")
+        assert database.has_index("i")
+        assert database.table("t").row_count == 1000
+        assert database.index("i").table == "t"
+
+    def test_index_requires_existing_table(self):
+        database = Database("db")
+        with pytest.raises(ConfigurationError):
+            database.create_index("i", "missing")
+
+    def test_unknown_lookups_raise(self):
+        database = Database("db")
+        with pytest.raises(ConfigurationError):
+            database.table("nope")
+        with pytest.raises(ConfigurationError):
+            database.index("nope")
+
+    def test_indexes_on_filters_by_table(self):
+        database = Database("db")
+        database.create_table("a", 10, 10)
+        database.create_table("b", 10, 10)
+        database.create_index("ia", "a")
+        database.create_index("ib", "b")
+        assert [i.name for i in database.indexes_on("a")] == ["ia"]
+
+    def test_total_size_includes_indexes(self):
+        database = Database("db")
+        database.create_table("t", row_count=100_000, row_width_bytes=100)
+        before = database.total_size_mb
+        database.create_index("i", "t", key_width_bytes=8)
+        assert database.total_size_mb > before
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            Database("")

@@ -1,0 +1,189 @@
+"""Tests for the fitted cost models used by online refinement."""
+
+import pytest
+
+from repro.core.models import (
+    AllocationInterval,
+    LinearCostModel,
+    MultiResourceCostModel,
+    PiecewiseLinearCostModel,
+)
+from repro.core.problem import CPU, MEMORY, ResourceAllocation
+from repro.exceptions import RefinementError
+
+
+class TestLinearCostModel:
+    def test_cost_follows_alpha_over_r_plus_beta(self):
+        model = LinearCostModel(alpha=10.0, beta=2.0)
+        assert model.cost_at(0.5) == pytest.approx(22.0)
+        assert model.cost(ResourceAllocation(0.25, 0.5)) == pytest.approx(42.0)
+
+    def test_scaling_scales_both_terms(self):
+        model = LinearCostModel(alpha=10.0, beta=2.0).scaled(1.5)
+        assert model.alpha == pytest.approx(15.0)
+        assert model.beta == pytest.approx(3.0)
+
+    def test_fit_recovers_parameters(self):
+        truth = LinearCostModel(alpha=7.0, beta=3.0)
+        points = [(share, truth.cost_at(share)) for share in (0.1, 0.2, 0.5, 1.0)]
+        fitted = LinearCostModel.fit(points)
+        assert fitted.alpha == pytest.approx(7.0)
+        assert fitted.beta == pytest.approx(3.0)
+
+    def test_memory_resource_model_uses_memory_share(self):
+        model = LinearCostModel(alpha=10.0, beta=0.0, resource=MEMORY)
+        assert model.cost(ResourceAllocation(0.1, 0.5)) == pytest.approx(20.0)
+
+    def test_invalid_inputs_rejected(self):
+        model = LinearCostModel(alpha=1.0, beta=0.0)
+        with pytest.raises(RefinementError):
+            model.cost_at(0.0)
+        with pytest.raises(RefinementError):
+            model.scaled(0.0)
+        with pytest.raises(RefinementError):
+            LinearCostModel.fit([])
+
+
+class TestIntervals:
+    def test_contains_and_distance(self):
+        interval = AllocationInterval(lower=0.2, upper=0.5)
+        assert interval.contains(0.3)
+        assert not interval.contains(0.6)
+        assert interval.distance(0.1) == pytest.approx(0.1)
+        assert interval.distance(0.7) == pytest.approx(0.2)
+        assert interval.midpoint() == pytest.approx(0.35)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(RefinementError):
+            AllocationInterval(lower=0.6, upper=0.4)
+
+
+class TestPiecewiseLinearCostModel:
+    def build(self):
+        return PiecewiseLinearCostModel(
+            intervals=[
+                AllocationInterval(0.05, 0.4, "planA"),
+                AllocationInterval(0.6, 0.95, "planB"),
+            ],
+            models=[
+                LinearCostModel(alpha=10.0, beta=5.0, resource=MEMORY),
+                LinearCostModel(alpha=2.0, beta=1.0, resource=MEMORY),
+            ],
+        )
+
+    def test_interval_lookup_inside_and_in_gap(self):
+        model = self.build()
+        assert model.interval_index(0.2) == 0
+        assert model.interval_index(0.9) == 1
+        # Gap values go to the closer interval.
+        assert model.interval_index(0.45) == 0
+        assert model.interval_index(0.55) == 1
+
+    def test_cost_uses_the_containing_interval(self):
+        model = self.build()
+        assert model.cost_at(0.2) == pytest.approx(55.0)
+        assert model.cost_at(0.8) == pytest.approx(3.5)
+
+    def test_scale_all_and_scale_interval(self):
+        model = self.build()
+        model.scale_all(2.0)
+        assert model.cost_at(0.2) == pytest.approx(110.0)
+        model.scale_interval(1, 0.5)
+        assert model.cost_at(0.8) == pytest.approx(3.5)
+
+    def test_refit_interval_from_observations(self):
+        model = self.build()
+        observations = [(0.1, 200.0), (0.2, 110.0), (0.4, 60.0)]
+        model.refit_interval(0, observations)
+        assert model.cost_at(0.2) == pytest.approx(110.0, rel=0.1)
+
+    def test_reassign_boundary_extends_interval(self):
+        model = self.build()
+        chosen = model.reassign_boundary(0.5, observed_cost=5.0)
+        assert chosen == 1
+        assert model.intervals[1].contains(0.5)
+
+    def test_from_signature_samples_groups_by_plan(self):
+        samples = [
+            (0.1, 100.0, "planA"), (0.2, 55.0, "planA"), (0.3, 38.0, "planA"),
+            (0.6, 4.3, "planB"), (0.8, 3.5, "planB"), (0.9, 3.2, "planB"),
+        ]
+        model = PiecewiseLinearCostModel.from_signature_samples(samples)
+        assert len(model.intervals) == 2
+        assert model.intervals[0].signature == "planA"
+        assert model.cost_at(0.2) == pytest.approx(55.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(RefinementError):
+            PiecewiseLinearCostModel(intervals=[], models=[])
+        with pytest.raises(RefinementError):
+            PiecewiseLinearCostModel(
+                intervals=[AllocationInterval(0, 1)], models=[],
+            )
+
+
+class TestMultiResourceCostModel:
+    def build(self):
+        return MultiResourceCostModel(
+            intervals=[AllocationInterval(0.05, 0.5, "small"),
+                       AllocationInterval(0.5, 0.95, "large")],
+            alphas=[(10.0, 4.0), (10.0, 1.0)],
+            betas=[2.0, 1.0],
+        )
+
+    def test_cost_combines_cpu_and_memory(self):
+        model = self.build()
+        allocation = ResourceAllocation(cpu_share=0.5, memory_fraction=0.25)
+        assert model.cost(allocation) == pytest.approx(10.0 / 0.5 + 4.0 / 0.25 + 2.0)
+
+    def test_interval_selected_by_memory(self):
+        model = self.build()
+        low = ResourceAllocation(0.5, 0.2)
+        high = ResourceAllocation(0.5, 0.8)
+        assert model.interval_index(low) == 0
+        assert model.interval_index(high) == 1
+
+    def test_scaling_operations(self):
+        model = self.build()
+        base = model.cost(ResourceAllocation(0.5, 0.25))
+        model.scale_all(2.0)
+        assert model.cost(ResourceAllocation(0.5, 0.25)) == pytest.approx(2 * base)
+        model.scale_interval(1, 0.5)
+        assert model.cost(ResourceAllocation(0.5, 0.25)) == pytest.approx(2 * base)
+
+    def test_refit_interval(self):
+        model = self.build()
+        observations = [
+            (ResourceAllocation(0.25, 0.2), 60.0),
+            (ResourceAllocation(0.5, 0.3), 35.0),
+            (ResourceAllocation(1.0, 0.4), 22.0),
+            (ResourceAllocation(0.75, 0.25), 32.0),
+        ]
+        model.refit_interval(0, observations)
+        predicted = model.cost(ResourceAllocation(0.5, 0.3))
+        assert predicted == pytest.approx(35.0, rel=0.25)
+
+    def test_from_samples_builds_intervals_by_signature(self):
+        samples = []
+        for memory, signature in ((0.1, "A"), (0.2, "A"), (0.3, "A"),
+                                  (0.6, "B"), (0.8, "B"), (0.9, "B")):
+            for cpu in (0.25, 0.5, 1.0):
+                cost = 5.0 / cpu + (8.0 if signature == "A" else 2.0) / memory + 1.0
+                samples.append((ResourceAllocation(cpu, memory), cost, signature))
+        model = MultiResourceCostModel.from_samples(samples)
+        assert len(model.intervals) == 2
+        estimate = model.cost(ResourceAllocation(0.5, 0.2))
+        assert estimate == pytest.approx(5.0 / 0.5 + 8.0 / 0.2 + 1.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(RefinementError):
+            MultiResourceCostModel(intervals=[], alphas=[], betas=[])
+        with pytest.raises(RefinementError):
+            MultiResourceCostModel(
+                intervals=[AllocationInterval(0, 1)], alphas=[(1.0,)], betas=[0.0],
+            )
+        model = self.build()
+        with pytest.raises(RefinementError):
+            model.scale_all(0.0)
+        with pytest.raises(RefinementError):
+            model.refit_interval(0, [])

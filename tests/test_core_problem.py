@@ -1,0 +1,137 @@
+"""Tests for the virtualization design problem definition."""
+
+import math
+
+import pytest
+
+from repro.core.problem import (
+    CPU,
+    ConsolidatedWorkload,
+    MEMORY,
+    ResourceAllocation,
+    UNLIMITED_DEGRADATION,
+    VirtualizationDesignProblem,
+)
+from repro.exceptions import AllocationError, ConfigurationError
+from repro.workloads.workload import Workload, WorkloadStatement
+
+
+@pytest.fixture()
+def tenants(tpch_sf1_queries, db2_calibration, pg_calibration):
+    first = Workload("w1", (WorkloadStatement(tpch_sf1_queries["q18"], 2.0),))
+    second = Workload("w2", (WorkloadStatement(tpch_sf1_queries["q21"], 1.0),))
+    return (
+        ConsolidatedWorkload(workload=first, calibration=db2_calibration),
+        ConsolidatedWorkload(workload=second, calibration=pg_calibration),
+    )
+
+
+class TestResourceAllocation:
+    def test_get_and_with_resource(self):
+        allocation = ResourceAllocation(cpu_share=0.3, memory_fraction=0.6)
+        assert allocation.get(CPU) == 0.3
+        assert allocation.get(MEMORY) == 0.6
+        changed = allocation.with_resource(CPU, 0.5)
+        assert changed.cpu_share == 0.5
+        assert allocation.cpu_share == 0.3
+
+    def test_shifted(self):
+        allocation = ResourceAllocation(0.3, 0.6).shifted(MEMORY, -0.1)
+        assert allocation.memory_fraction == pytest.approx(0.5)
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ResourceAllocation(0.3, 0.6).get("disk")
+
+    def test_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            ResourceAllocation(cpu_share=1.2, memory_fraction=0.5)
+
+    def test_equal_share(self):
+        allocation = ResourceAllocation.equal_share(4)
+        assert allocation.cpu_share == pytest.approx(0.25)
+
+    def test_full_allocation(self):
+        assert ResourceAllocation.full().as_tuple() == (1.0, 1.0)
+
+
+class TestConsolidatedWorkload:
+    def test_validates_qos_parameters(self, tenants):
+        tenant = tenants[0]
+        with pytest.raises(ConfigurationError):
+            ConsolidatedWorkload(workload=tenant.workload,
+                                 calibration=tenant.calibration,
+                                 degradation_limit=0.5)
+        with pytest.raises(ConfigurationError):
+            ConsolidatedWorkload(workload=tenant.workload,
+                                 calibration=tenant.calibration,
+                                 gain_factor=0.5)
+
+    def test_database_must_match_engine(self, tenants, tpcc_w10_transactions,
+                                        db2_calibration):
+        foreign = Workload(
+            "oltp", (WorkloadStatement(tpcc_w10_transactions["payment"], 1.0),)
+        )
+        with pytest.raises(ConfigurationError):
+            ConsolidatedWorkload(workload=foreign, calibration=db2_calibration)
+
+    def test_with_workload_keeps_engine_and_qos(self, tenants, tpch_sf1_queries):
+        tenant = ConsolidatedWorkload(
+            workload=tenants[0].workload, calibration=tenants[0].calibration,
+            gain_factor=3.0,
+        )
+        other = Workload("other", (WorkloadStatement(tpch_sf1_queries["q1"], 1.0),))
+        swapped = tenant.with_workload(other)
+        assert swapped.name == "other"
+        assert swapped.gain_factor == 3.0
+
+
+class TestProblem:
+    def test_default_allocation_is_equal_share(self, tenants):
+        problem = VirtualizationDesignProblem(tenants=tenants)
+        default = problem.default_allocation()
+        assert len(default) == 2
+        assert default[0].cpu_share == pytest.approx(0.5)
+        assert default[0].memory_fraction == pytest.approx(0.5)
+
+    def test_cpu_only_problem_fixes_memory(self, tenants):
+        problem = VirtualizationDesignProblem(
+            tenants=tenants, resources=(CPU,), fixed_memory_fraction=0.0625
+        )
+        allocation = problem.make_allocation(0.8, 0.9)
+        assert allocation.memory_fraction == pytest.approx(0.0625)
+        assert not problem.controls_memory
+
+    def test_validate_allocations_checks_totals(self, tenants):
+        problem = VirtualizationDesignProblem(tenants=tenants)
+        good = (ResourceAllocation(0.5, 0.5), ResourceAllocation(0.5, 0.5))
+        problem.validate_allocations(good)
+        bad = (ResourceAllocation(0.7, 0.5), ResourceAllocation(0.5, 0.5))
+        with pytest.raises(AllocationError):
+            problem.validate_allocations(bad)
+        with pytest.raises(AllocationError):
+            problem.validate_allocations(good[:1])
+
+    def test_with_workloads_replaces_in_order(self, tenants, tpch_sf1_queries):
+        problem = VirtualizationDesignProblem(tenants=tenants)
+        new_first = Workload("n1", (WorkloadStatement(tpch_sf1_queries["q1"], 1.0),))
+        new_second = Workload("n2", (WorkloadStatement(tpch_sf1_queries["q2"], 1.0),))
+        updated = problem.with_workloads([new_first, new_second])
+        assert updated.tenant_names() == ["n1", "n2"]
+        with pytest.raises(ConfigurationError):
+            problem.with_workloads([new_first])
+
+    def test_unknown_resource_rejected(self, tenants):
+        with pytest.raises(ConfigurationError):
+            VirtualizationDesignProblem(tenants=tenants, resources=("disk",))
+
+    def test_empty_problem_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualizationDesignProblem(tenants=())
+
+    def test_machine_shared_across_tenants(self, tenants):
+        problem = VirtualizationDesignProblem(tenants=tenants)
+        assert problem.machine is tenants[0].calibration.machine
+        assert problem.n_workloads == 2
+        assert problem.tenant(1).name == "w2"
+        assert math.isinf(UNLIMITED_DEGRADATION)

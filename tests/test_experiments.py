@@ -1,0 +1,204 @@
+"""Integration tests for the experiment harness and scenario builders.
+
+These run each paper experiment at a reduced scale (fewer sweep points,
+fewer workloads) and assert the qualitative behaviour the paper reports —
+the full-scale versions live in the benchmark suite.
+"""
+
+import math
+
+import pytest
+
+from repro.calibration import CalibrationSettings
+from repro.experiments import calibration_figures as cf
+from repro.experiments import dynamic as dyn
+from repro.experiments import random_workloads as rw
+from repro.experiments import refinement as ref
+from repro.experiments import validation as val
+from repro.experiments.harness import ExperimentContext
+from repro.experiments.reporting import format_table, markdown_table, series_to_rows
+
+
+@pytest.fixture(scope="module")
+def context():
+    return ExperimentContext(
+        calibration_settings=CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
+    )
+
+
+class TestHarness:
+    def test_engines_and_calibrations_are_cached(self, context):
+        first = context.calibration("db2", "tpch", 1.0)
+        second = context.calibration("db2", "tpch", 1.0)
+        assert first is second
+
+    def test_unknown_engine_rejected(self, context):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            context.engine("oracle", "tpch", 1.0)
+
+    def test_cpu_only_problem_fixes_memory(self, context, tpch_sf1_queries):
+        from repro.workloads.units import mixed_cpu_workload
+
+        workload = mixed_cpu_workload("w", context.queries("db2", "tpch", 1.0),
+                                      "db2", 1, 1)
+        problem = context.cpu_only_problem([context.tenant(workload, "db2", "tpch", 1.0)])
+        assert not problem.controls_memory
+
+    def test_reporting_helpers(self):
+        headers, rows = series_to_rows("k", {"cpu": [0.1, 0.2]}, [1, 2])
+        text = format_table(headers, rows)
+        assert "cpu" in text and "0.100" in text
+        markdown = markdown_table(headers, rows)
+        assert markdown.startswith("| k | cpu |")
+
+
+class TestMotivatingExample:
+    def test_cpu_bound_db2_workload_benefits(self, context):
+        result = cf.motivating_example(context, scale_factor=1.0)
+        # The DB2 workload improves a lot, the PostgreSQL workload loses a
+        # little, and the overall improvement is positive — the Figure 2
+        # story.
+        assert result.db2_change > 0.2
+        assert result.db2_change > result.postgres_change
+        assert result.overall_improvement > 0.0
+        # The DB2 VM gets the larger CPU share.
+        assert (result.recommended_allocations[1].cpu_share
+                > result.recommended_allocations[0].cpu_share)
+
+
+class TestCalibrationFigures:
+    def test_cpu_parameters_linear_in_inverse_share(self, context):
+        results = cf.db2_parameter_sweep(
+            context, cpu_shares=(0.25, 0.5, 1.0), memory_fractions=(0.3, 0.5, 0.7)
+        )
+        cpuspeed = results["cpuspeed"]
+        assert cpuspeed.regression_r2 > 0.99
+        assert cpuspeed.memory_relative_spread < 0.05
+        transfer = results["transfer_rate"]
+        spread = max(transfer.at_half_memory) - min(transfer.at_half_memory)
+        assert spread < 1e-9  # I/O parameters independent of CPU share
+
+    def test_postgresql_parameters_behave_like_figures_5_and_7(self, context):
+        results = cf.postgresql_parameter_sweep(
+            context, cpu_shares=(0.25, 0.5, 1.0), memory_fractions=(0.4, 0.5, 0.6)
+        )
+        assert results["cpu_tuple_cost"].regression_r2 > 0.95
+        assert results["random_page_cost"].memory_relative_spread < 0.1
+
+    def test_objective_surface_is_well_behaved(self, context):
+        from repro.workloads.units import mixed_cpu_workload
+
+        queries = context.queries("db2", "tpch", 1.0)
+        first = mixed_cpu_workload("s1", queries, "db2", 5, 0)
+        second = mixed_cpu_workload("s2", queries, "db2", 0, 5)
+        surface = cf.objective_surface(
+            context, first, second, grid=(0.2, 0.35, 0.5, 0.65, 0.8)
+        )
+        cpu_opt, mem_opt, best = surface.minimum()
+        assert best > 0
+        # The minimum is not at the corner that starves the CPU-bound
+        # workload of CPU.
+        assert cpu_opt >= 0.35
+
+    def test_overhead_report_matches_paper_scale(self, context):
+        report = cf.overhead_report(context, "db2")
+        assert report.search_iterations <= 20
+        assert report.calibration_total_seconds < 3600
+        assert report.calibration_cpu_levels == 5
+
+
+class TestValidationSweeps:
+    def test_cpu_intensity_sweep_shape(self, context):
+        result = val.cpu_intensity_sweep(context, "db2", ks=(0, 5, 10))
+        allocations = result.allocations()
+        # W2 receives more CPU as it becomes more CPU intensive.
+        assert allocations[0] < allocations[-1]
+        # With identical workloads the default allocation is optimal.
+        assert result.points[1].allocation_to_second_workload == pytest.approx(0.5, abs=0.01)
+        assert result.points[1].estimated_improvement == pytest.approx(0.0, abs=0.01)
+        assert all(p.estimated_improvement >= -1e-9 for p in result.points)
+
+    def test_size_and_intensity_sweep_shape(self, context):
+        result = val.size_and_intensity_sweep(context, "db2", ks=(1, 5, 10))
+        assert result.points[0].allocation_to_second_workload == pytest.approx(0.5, abs=0.01)
+        assert result.allocations()[-1] > 0.6
+
+    def test_size_only_sweep_gives_little_cpu_to_io_workload(self, context):
+        result = val.size_only_sweep(context, "db2", ks=(1, 5, 10))
+        # Even a 10x longer I/O-bound workload gets less CPU than the short
+        # CPU-bound one (Figures 16-17).
+        assert result.allocations()[-1] < 0.5
+
+    def test_memory_intensity_sweep_shape(self, context):
+        result = val.memory_intensity_sweep(context, ks=(0, 5, 10))
+        allocations = result.allocations()
+        assert allocations[0] < allocations[-1]
+
+    def test_degradation_limits_are_respected(self, context):
+        result = val.degradation_limit_sweep(context, limits=(2.0, 3.0), n_workloads=4)
+        for point in result.points:
+            assert point.limit_met
+            # The second constrained workload must meet its own limit too.
+            assert point.degradations[1] <= result.constrained_second_limit + 1e-6
+
+    def test_gain_factor_attracts_cpu(self, context):
+        result = val.gain_factor_sweep(context, gains=(1, 6, 10), n_workloads=4)
+        shares = result.first_workload_shares()
+        assert shares[-1] >= shares[0]
+
+
+class TestRandomWorkloadExperiments:
+    def test_advisor_is_near_optimal_for_cpu_allocation(self, context):
+        result = rw.postgresql_tpch_cpu_experiment(
+            context, workload_counts=(2, 3), scale=1.0, compute_optimal=True
+        )
+        for advisor, optimal in zip(result.advisor_improvements,
+                                    result.optimal_improvements):
+            assert advisor >= optimal - 0.05
+        # Allocation trajectories exist for every workload seen.
+        assert len(result.trajectories) >= 3
+
+    def test_multi_resource_experiment_reports_both_resources(self, context):
+        result = rw.db2_multi_resource_experiment(
+            context, workload_counts=(2, 3), compute_optimal=False
+        )
+        trajectory = result.trajectories[0]
+        assert len(trajectory.cpu_shares) == 2
+        assert len(trajectory.memory_fractions) == 2
+        assert math.isnan(result.optimal_improvements[0])
+
+
+class TestRefinementExperiments:
+    def test_oltp_dss_refinement_recovers_performance(self, context):
+        result = ref.tpcc_tpch_refinement_experiment(
+            context, "db2", workload_counts=(2, 4), max_iterations=4
+        )
+        for point in result.points:
+            assert point.improvement_after >= point.improvement_before - 1e-6
+        # With few workloads the pre-refinement recommendation is poor
+        # (the optimizer underestimates the OLTP CPU needs).
+        assert result.points[0].improvement_before < 0.05
+
+    def test_sortheap_refinement_does_not_hurt(self, context):
+        result = ref.sortheap_refinement_experiment(
+            context, workload_counts=(2, 3), max_iterations=4
+        )
+        for point in result.points:
+            assert point.improvement_after >= point.improvement_before - 0.03
+
+
+class TestDynamicExperiment:
+    def test_dynamic_management_recovers_after_switch(self, context):
+        result = dyn.dynamic_management_experiment(
+            context, n_periods=4, switch_periods=(3,)
+        )
+        managed = result.managed_improvements()
+        # The switch makes the in-force allocation bad in period 3, and
+        # dynamic management recovers by period 4.
+        assert managed[2] < 0
+        assert managed[3] > 0
+        # Dynamic management does at least as well as continuous refinement
+        # in the recovery period.
+        assert managed[3] >= result.continuous_improvements()[3] - 1e-6

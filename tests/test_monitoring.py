@@ -1,0 +1,112 @@
+"""Tests for the monitoring metrics and per-workload monitors."""
+
+import math
+
+import pytest
+
+from repro.core.problem import ResourceAllocation
+from repro.exceptions import MonitoringError
+from repro.monitoring.metrics import (
+    degradation,
+    relative_improvement,
+    relative_modeling_error,
+    relative_workload_change,
+)
+from repro.monitoring.monitor import (
+    CHANGE_MAJOR,
+    CHANGE_MINOR,
+    CHANGE_NONE,
+    PeriodObservation,
+    WorkloadMonitor,
+)
+from repro.workloads.workload import Workload, WorkloadStatement
+
+
+class TestMetrics:
+    def test_degradation(self):
+        assert degradation(20.0, 10.0) == pytest.approx(2.0)
+        assert degradation(5.0, 0.0) == 1.0
+        with pytest.raises(MonitoringError):
+            degradation(-1.0, 1.0)
+
+    def test_relative_improvement(self):
+        assert relative_improvement(100.0, 75.0) == pytest.approx(0.25)
+        assert relative_improvement(100.0, 130.0) == pytest.approx(-0.3)
+        assert relative_improvement(0.0, 10.0) == 0.0
+
+    def test_relative_modeling_error(self):
+        assert relative_modeling_error(90.0, 100.0) == pytest.approx(0.1)
+        assert relative_modeling_error(0.0, 0.0) == 0.0
+        assert math.isinf(relative_modeling_error(1.0, 0.0))
+
+    def test_relative_workload_change(self):
+        assert relative_workload_change(10.0, 12.0) == pytest.approx(0.2)
+        assert relative_workload_change(0.0, 0.0) == 0.0
+        assert math.isinf(relative_workload_change(0.0, 5.0))
+
+
+def observation(period, query, frequency, estimated, actual, average):
+    workload = Workload(f"w-p{period}", (WorkloadStatement(query, frequency),))
+    return PeriodObservation(
+        period=period,
+        workload=workload,
+        allocation=ResourceAllocation(0.5, 0.5),
+        estimated_cost=estimated,
+        actual_cost=actual,
+        average_query_cost=average,
+    )
+
+
+class TestWorkloadMonitor:
+    def test_first_period_reports_no_change(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        monitor.record(observation(1, tpch_sf1_queries["q1"], 1, 10, 10, 5.0))
+        assert monitor.change_classification() == CHANGE_NONE
+
+    def test_minor_and_major_changes(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        monitor.record(observation(1, tpch_sf1_queries["q1"], 1, 10, 10, 5.0))
+        monitor.record(observation(2, tpch_sf1_queries["q1"], 1, 10, 10, 5.4))
+        assert monitor.change_classification() == CHANGE_MINOR
+        monitor.record(observation(3, tpch_sf1_queries["q1"], 1, 10, 10, 9.0))
+        assert monitor.change_classification() == CHANGE_MAJOR
+
+    def test_identical_periods_report_none(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        monitor.record(observation(1, tpch_sf1_queries["q1"], 1, 10, 10, 5.0))
+        monitor.record(observation(2, tpch_sf1_queries["q1"], 1, 10, 10, 5.0))
+        assert monitor.change_classification() == CHANGE_NONE
+
+    def test_modeling_error_and_refinement_decision(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        monitor.record(observation(1, tpch_sf1_queries["q1"], 1, 100, 104, 5.0))
+        monitor.record(observation(2, tpch_sf1_queries["q1"], 1, 100, 103, 5.2))
+        assert monitor.modeling_error(0) == pytest.approx(3 / 103)
+        assert monitor.refinement_can_continue()
+
+    def test_growing_large_error_stops_refinement(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        monitor.record(observation(1, tpch_sf1_queries["q1"], 1, 100, 110, 5.0))
+        monitor.record(observation(2, tpch_sf1_queries["q1"], 1, 100, 140, 5.2))
+        assert not monitor.refinement_can_continue()
+
+    def test_decreasing_error_allows_refinement(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        monitor.record(observation(1, tpch_sf1_queries["q1"], 1, 100, 150, 5.0))
+        monitor.record(observation(2, tpch_sf1_queries["q1"], 1, 100, 120, 5.2))
+        assert monitor.refinement_can_continue()
+
+    def test_periods_must_increase(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        monitor.record(observation(2, tpch_sf1_queries["q1"], 1, 10, 10, 5.0))
+        with pytest.raises(MonitoringError):
+            monitor.record(observation(1, tpch_sf1_queries["q1"], 1, 10, 10, 5.0))
+
+    def test_missing_observation_error(self, tpch_sf1_queries):
+        monitor = WorkloadMonitor("w")
+        with pytest.raises(MonitoringError):
+            monitor.modeling_error(0)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(MonitoringError):
+            WorkloadMonitor("w", change_threshold=0.0)

@@ -1,0 +1,149 @@
+"""Tests for the cost-based planner."""
+
+import pytest
+
+from repro.dbms.catalog import Database
+from repro.dbms.plans import PlanBuildContext
+from repro.dbms.planner import Planner
+from repro.dbms.postgres.cost_model import PostgreSQLCostModel
+from repro.dbms.postgres.params import PostgreSQLParameters
+from repro.dbms.query import AggregateSpec, JoinStep, QuerySpec, TableAccess
+from repro.exceptions import OptimizationError
+
+
+@pytest.fixture()
+def database():
+    db = Database("planner")
+    db.create_table("fact", row_count=2_000_000, row_width_bytes=100)
+    db.create_table("dim", row_count=10_000, row_width_bytes=80)
+    db.create_index("idx_fact", "fact", key_width_bytes=8)
+    return db
+
+
+def cost_model(work_mem_mb=16.0, cache_mb=64.0):
+    params = PostgreSQLParameters(work_mem_mb=work_mem_mb,
+                                  shared_buffers_mb=cache_mb,
+                                  effective_cache_size_mb=cache_mb)
+    return PostgreSQLCostModel(params)
+
+
+def build_context(database, work_mem_mb=16.0, cache_mb=64.0):
+    return PlanBuildContext(database=database, work_mem_mb=work_mem_mb,
+                            cache_mb=cache_mb)
+
+
+class TestAccessChoice:
+    def test_selective_predicate_uses_index(self, database):
+        planner = Planner(database)
+        query = QuerySpec(
+            name="point", database="planner",
+            driver=TableAccess(table="fact", selectivity=1e-4, index="idx_fact",
+                               index_selectivity=1e-4),
+        )
+        plan = planner.build_plan(query, build_context(database), cost_model())
+        assert "IndexScan" in plan.signature
+
+    def test_full_scan_uses_seq_scan(self, database):
+        planner = Planner(database)
+        query = QuerySpec(
+            name="scan", database="planner",
+            driver=TableAccess(table="fact", selectivity=0.9, index="idx_fact",
+                               index_selectivity=0.9),
+        )
+        plan = planner.build_plan(query, build_context(database), cost_model())
+        assert plan.signature.startswith("Result(SeqScan")
+
+    def test_database_mismatch_rejected(self, database):
+        planner = Planner(database)
+        query = QuerySpec(name="q", database="other",
+                          driver=TableAccess(table="fact"))
+        with pytest.raises(OptimizationError):
+            planner.build_plan(query, build_context(database), cost_model())
+
+
+class TestJoinChoice:
+    def join_query(self, selectivity=1e-4):
+        return QuerySpec(
+            name="join", database="planner",
+            driver=TableAccess(table="fact", selectivity=0.5),
+            joins=(JoinStep(access=TableAccess(table="dim"),
+                            selectivity=1.0 / 10_000),),
+        )
+
+    def test_join_produces_binary_operator(self, database):
+        planner = Planner(database)
+        plan = planner.build_plan(self.join_query(), build_context(database),
+                                  cost_model())
+        assert any(label in plan.signature
+                   for label in ("HashJoin", "NestLoop", "MergeJoin"))
+
+    def test_join_alternatives_include_all_methods(self, database):
+        planner = Planner(database)
+        context = build_context(database)
+        model = cost_model()
+        outer = planner._best_access(TableAccess(table="fact", selectivity=0.5),
+                                     context, model)
+        step = JoinStep(access=TableAccess(table="dim"), selectivity=1e-4)
+        labels = {type(node).__name__
+                  for node in planner.join_alternatives(outer, step, context, model)}
+        assert "HashJoinNode" in labels
+        assert "SortMergeJoinNode" in labels
+        assert "NestedLoopJoinNode" in labels  # dim is small enough
+
+    def test_nested_loop_pruned_for_large_inner(self, database):
+        planner = Planner(database)
+        context = build_context(database)
+        model = cost_model()
+        outer = planner._best_access(TableAccess(table="dim"), context, model)
+        step = JoinStep(access=TableAccess(table="fact", selectivity=0.9),
+                        selectivity=1e-6)
+        labels = {type(node).__name__
+                  for node in planner.join_alternatives(outer, step, context, model)}
+        assert "NestedLoopJoinNode" not in labels
+
+
+class TestMemoryDependentPlans:
+    def aggregate_query(self):
+        return QuerySpec(
+            name="agg", database="planner",
+            driver=TableAccess(table="fact", selectivity=0.5),
+            aggregate=AggregateSpec(group_fraction=0.02, aggregates=2.0),
+            order_by=True,
+        )
+
+    def test_plan_changes_with_work_mem(self, database):
+        planner = Planner(database)
+        query = self.aggregate_query()
+        small = planner.build_plan(
+            query, build_context(database, work_mem_mb=1.0), cost_model(work_mem_mb=1.0)
+        )
+        large = planner.build_plan(
+            query, build_context(database, work_mem_mb=4096.0),
+            cost_model(work_mem_mb=4096.0),
+        )
+        assert small.signature != large.signature
+
+    def test_cost_never_increases_with_more_memory(self, database):
+        planner = Planner(database)
+        query = self.aggregate_query()
+        costs = []
+        for memory in (1.0, 8.0, 64.0, 512.0, 4096.0):
+            model = cost_model(work_mem_mb=memory, cache_mb=memory)
+            plan = planner.build_plan(
+                query, build_context(database, work_mem_mb=memory, cache_mb=memory),
+                model,
+            )
+            costs.append(model.plan_cost(plan.usage))
+        assert all(b <= a * 1.0001 for a, b in zip(costs, costs[1:]))
+
+    def test_update_plan_wraps_root(self, database):
+        from repro.dbms.query import UpdateProfile
+
+        planner = Planner(database)
+        query = QuerySpec(
+            name="upd", database="planner",
+            driver=TableAccess(table="dim", selectivity=1e-3),
+            update=UpdateProfile(rows_written=5, pages_dirtied=2),
+        )
+        plan = planner.build_plan(query, build_context(database), cost_model())
+        assert plan.signature.startswith("Update(")

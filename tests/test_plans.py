@@ -1,0 +1,223 @@
+"""Tests for the physical plan operators and resource accounting."""
+
+import pytest
+
+from repro.dbms.catalog import Database
+from repro.dbms.plans import (
+    HashAggregateNode,
+    HashJoinNode,
+    IndexScanNode,
+    NestedLoopJoinNode,
+    PlanBuildContext,
+    ResourceUsage,
+    ResultNode,
+    SeqScanNode,
+    SortAggregateNode,
+    SortMergeJoinNode,
+    SortNode,
+    UpdateNode,
+)
+from repro.dbms.query import AggregateSpec, TableAccess, UpdateProfile
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def database():
+    db = Database("plans")
+    db.create_table("big", row_count=1_000_000, row_width_bytes=100)
+    db.create_table("small", row_count=1_000, row_width_bytes=100)
+    db.create_index("idx_big", "big", key_width_bytes=8)
+    db.create_index("idx_big_clustered", "big", key_width_bytes=8, clustered=True)
+    return db
+
+
+def context(database, work_mem_mb=16.0, cache_mb=64.0):
+    return PlanBuildContext(database=database, work_mem_mb=work_mem_mb,
+                            cache_mb=cache_mb)
+
+
+class TestResourceUsage:
+    def test_addition_sums_fields(self):
+        a = ResourceUsage(tuples=10, seq_pages=5)
+        b = ResourceUsage(tuples=1, random_pages=2)
+        total = a + b
+        assert total.tuples == 11
+        assert total.seq_pages == 5
+        assert total.random_pages == 2
+
+    def test_scaled_preserves_working_set(self):
+        usage = ResourceUsage(tuples=10, seq_pages=4, working_set_pages=4)
+        scaled = usage.scaled(3)
+        assert scaled.tuples == 30
+        assert scaled.seq_pages == 12
+        assert scaled.working_set_pages == 4
+
+    def test_scaled_rejects_negative_factor(self):
+        with pytest.raises(ConfigurationError):
+            ResourceUsage().scaled(-1)
+
+    def test_helpers(self):
+        usage = ResourceUsage(tuples=1, index_tuples=2, operator_evals=3,
+                              seq_pages=4, random_pages=5)
+        assert usage.cpu_operations == 6
+        assert usage.page_reads == 9
+        assert usage.as_dict()["tuples"] == 1
+
+
+class TestScans:
+    def test_seq_scan_reads_whole_table(self, database):
+        ctx = context(database, cache_mb=1.0)
+        node = SeqScanNode(TableAccess(table="big", selectivity=0.1), ctx)
+        table = database.table("big")
+        assert node.rows == pytest.approx(table.row_count * 0.1)
+        assert node.usage.seq_pages == pytest.approx(table.pages, rel=0.02)
+
+    def test_seq_scan_cached_table_reads_nothing(self, database):
+        ctx = context(database, cache_mb=10_000.0)
+        node = SeqScanNode(TableAccess(table="small"), ctx)
+        assert node.usage.seq_pages == 0.0
+
+    def test_index_scan_cheaper_than_seq_scan_for_selective_predicate(self, database):
+        ctx = context(database, cache_mb=1.0)
+        access = TableAccess(table="big", selectivity=0.001, index="idx_big",
+                             index_selectivity=0.001)
+        seq = SeqScanNode(access, ctx)
+        index = IndexScanNode(access, ctx)
+        assert index.usage.page_reads < seq.usage.page_reads
+        assert index.usage.index_tuples > 0
+
+    def test_clustered_index_scan_avoids_random_io(self, database):
+        ctx = context(database, cache_mb=1.0)
+        access = TableAccess(table="big", selectivity=0.01,
+                             index="idx_big_clustered", index_selectivity=0.01)
+        node = IndexScanNode(access, ctx)
+        assert node.usage.random_pages < node.usage.seq_pages + 10
+
+    def test_index_scan_requires_index(self, database):
+        with pytest.raises(ConfigurationError):
+            IndexScanNode(TableAccess(table="big"), context(database))
+
+    def test_cpu_work_multiplier_scales_tuples(self, database):
+        access = TableAccess(table="small")
+        plain = SeqScanNode(access, context(database))
+        heavy = SeqScanNode(
+            access,
+            PlanBuildContext(database=database, work_mem_mb=16.0, cache_mb=64.0,
+                             cpu_work_per_tuple=3.0),
+        )
+        assert heavy.usage.tuples == pytest.approx(3.0 * plain.usage.tuples)
+
+
+class TestJoins:
+    def test_hash_join_in_memory_when_build_fits(self, database):
+        ctx = context(database, work_mem_mb=1024.0)
+        outer = SeqScanNode(TableAccess(table="big", selectivity=0.01), ctx)
+        inner = SeqScanNode(TableAccess(table="small"), ctx)
+        join = HashJoinNode(outer, inner, selectivity=1e-3, join_predicates=1.0,
+                            context=ctx)
+        assert join.in_memory
+        assert join.usage.pages_written == 0.0
+
+    def test_hash_join_spills_when_memory_is_short(self, database):
+        ctx = context(database, work_mem_mb=1.0)
+        outer = SeqScanNode(TableAccess(table="small"), ctx)
+        inner = SeqScanNode(TableAccess(table="big", selectivity=0.5), ctx)
+        join = HashJoinNode(outer, inner, selectivity=1e-6, join_predicates=1.0,
+                            context=ctx)
+        assert not join.in_memory
+        assert join.usage.pages_written > 0.0
+
+    def test_hash_join_spill_shrinks_with_memory(self, database):
+        def spill(work_mem):
+            ctx = context(database, work_mem_mb=work_mem)
+            outer = SeqScanNode(TableAccess(table="small"), ctx)
+            inner = SeqScanNode(TableAccess(table="big", selectivity=0.5), ctx)
+            return HashJoinNode(outer, inner, 1e-6, 1.0, ctx).usage.pages_written
+
+        assert spill(64.0) < spill(4.0)
+
+    def test_nested_loop_join_charges_rescans(self, database):
+        ctx = context(database)
+        outer = SeqScanNode(TableAccess(table="small"), ctx)
+        inner = SeqScanNode(TableAccess(table="small"), ctx)
+        join = NestedLoopJoinNode(outer, inner, selectivity=1e-3,
+                                  join_predicates=1.0, context=ctx)
+        # The inner subtree is re-executed once per outer row.
+        assert join.total_usage().tuples >= outer.rows * inner.usage.tuples * 0.9
+
+    def test_merge_join_sorts_both_inputs(self, database):
+        ctx = context(database)
+        outer = SeqScanNode(TableAccess(table="small"), ctx)
+        inner = SeqScanNode(TableAccess(table="small"), ctx)
+        join = SortMergeJoinNode(outer, inner, selectivity=1e-3,
+                                 join_predicates=1.0, context=ctx)
+        labels = [node.label for node in join.walk()]
+        assert labels.count("Sort") == 2
+
+    def test_join_output_cardinality(self, database):
+        ctx = context(database)
+        outer = SeqScanNode(TableAccess(table="small"), ctx)
+        inner = SeqScanNode(TableAccess(table="small"), ctx)
+        join = HashJoinNode(outer, inner, selectivity=0.001, join_predicates=1.0,
+                            context=ctx)
+        assert join.rows == pytest.approx(outer.rows * inner.rows * 0.001)
+
+
+class TestSortAndAggregate:
+    def test_sort_spills_only_when_needed(self, database):
+        ctx_small = context(database, work_mem_mb=1.0)
+        ctx_large = context(database, work_mem_mb=2048.0)
+        child_small = SeqScanNode(TableAccess(table="big", selectivity=0.2), ctx_small)
+        child_large = SeqScanNode(TableAccess(table="big", selectivity=0.2), ctx_large)
+        assert SortNode(child_small, ctx_small).usage.sort_spill_pages > 0
+        assert SortNode(child_large, ctx_large).in_memory
+
+    def test_hash_aggregate_fits_check(self, database):
+        ctx = context(database, work_mem_mb=1.0)
+        child = SeqScanNode(TableAccess(table="big"), ctx)
+        many_groups = AggregateSpec(group_fraction=0.5)
+        few_groups = AggregateSpec(group_fraction=1e-6)
+        assert not HashAggregateNode.fits_in_memory(child, many_groups, ctx)
+        assert HashAggregateNode.fits_in_memory(child, few_groups, ctx)
+
+    def test_sort_aggregate_includes_sort(self, database):
+        ctx = context(database)
+        child = SeqScanNode(TableAccess(table="small"), ctx)
+        node = SortAggregateNode(child, AggregateSpec(group_fraction=0.1), ctx)
+        assert any(n.label == "Sort" for n in node.walk())
+
+    def test_aggregate_reduces_rows(self, database):
+        ctx = context(database)
+        child = SeqScanNode(TableAccess(table="big"), ctx)
+        node = HashAggregateNode(child, AggregateSpec(group_fraction=0.01), ctx)
+        assert node.rows == pytest.approx(child.rows * 0.01)
+
+
+class TestResultAndUpdate:
+    def test_result_node_charges_row_delivery(self, database):
+        ctx = context(database)
+        child = SeqScanNode(TableAccess(table="small"), ctx)
+        node = ResultNode(child, result_rows=42)
+        assert node.usage.rows_returned == 42
+        assert node.rows == 42
+
+    def test_result_node_defaults_to_child_rows(self, database):
+        ctx = context(database)
+        child = SeqScanNode(TableAccess(table="small", selectivity=0.5), ctx)
+        node = ResultNode(child)
+        assert node.rows == pytest.approx(child.rows)
+
+    def test_update_node_charges_writes(self, database):
+        ctx = context(database)
+        child = ResultNode(SeqScanNode(TableAccess(table="small"), ctx))
+        profile = UpdateProfile(rows_written=10, pages_dirtied=5, log_bytes=100)
+        node = UpdateNode(child, profile, ctx)
+        assert node.usage.pages_written == 5
+        assert node.usage.tuples == 10
+
+    def test_describe_and_signature(self, database):
+        ctx = context(database)
+        child = SeqScanNode(TableAccess(table="small"), ctx)
+        node = ResultNode(child)
+        assert "SeqScan" in node.describe()
+        assert node.signature() == "Result(SeqScan())"

@@ -1,0 +1,106 @@
+"""Tests for the logical query descriptors."""
+
+import pytest
+
+from repro.dbms.query import (
+    AggregateSpec,
+    JoinStep,
+    QuerySpec,
+    TableAccess,
+    UpdateProfile,
+)
+from repro.exceptions import WorkloadError
+
+
+def simple_query(**overrides):
+    defaults = dict(
+        name="q",
+        database="db",
+        driver=TableAccess(table="t", selectivity=0.5),
+    )
+    defaults.update(overrides)
+    return QuerySpec(**defaults)
+
+
+class TestTableAccess:
+    def test_effective_index_selectivity_defaults_to_selectivity(self):
+        access = TableAccess(table="t", selectivity=0.25)
+        assert access.effective_index_selectivity == 0.25
+
+    def test_explicit_index_selectivity_wins(self):
+        access = TableAccess(table="t", selectivity=0.25, index="i",
+                             index_selectivity=0.4)
+        assert access.effective_index_selectivity == 0.4
+
+    def test_invalid_selectivity_rejected(self):
+        with pytest.raises(WorkloadError):
+            TableAccess(table="t", selectivity=1.5)
+        with pytest.raises(WorkloadError):
+            TableAccess(table="t", index_selectivity=-0.1)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(WorkloadError):
+            TableAccess(table="")
+
+
+class TestJoinAndAggregate:
+    def test_join_selectivity_bounds(self):
+        with pytest.raises(WorkloadError):
+            JoinStep(access=TableAccess(table="t"), selectivity=1.5)
+
+    def test_aggregate_group_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            AggregateSpec(group_fraction=2.0)
+        spec = AggregateSpec(group_fraction=0.5, aggregates=3)
+        assert spec.aggregates == 3
+
+
+class TestUpdateProfile:
+    def test_read_only_detection(self):
+        assert UpdateProfile().is_read_only
+        assert not UpdateProfile(rows_written=1).is_read_only
+        assert not UpdateProfile(log_bytes=100).is_read_only
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(WorkloadError):
+            UpdateProfile(rows_written=-1)
+
+
+class TestQuerySpec:
+    def test_accesses_include_driver_and_joins(self):
+        query = simple_query(
+            joins=(JoinStep(access=TableAccess(table="u"), selectivity=0.001),),
+        )
+        assert [a.table for a in query.accesses] == ["t", "u"]
+
+    def test_is_update_requires_real_writes(self):
+        assert not simple_query().is_update
+        assert not simple_query(update=UpdateProfile()).is_update
+        assert simple_query(update=UpdateProfile(rows_written=2)).is_update
+
+    def test_with_name_creates_copy(self):
+        query = simple_query()
+        renamed = query.with_name("other")
+        assert renamed.name == "other"
+        assert query.name == "q"
+
+    def test_scaled_changes_driver_selectivity(self):
+        query = simple_query()
+        lighter = query.scaled(0.1)
+        assert lighter.driver.selectivity == pytest.approx(0.05)
+        heavier = query.scaled(10)
+        assert heavier.driver.selectivity == 1.0  # clamped
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(WorkloadError):
+            simple_query().scaled(0.0)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            simple_query(cpu_work_per_tuple=0.0)
+        with pytest.raises(WorkloadError):
+            simple_query(hidden_memory_penalty=-0.5)
+        with pytest.raises(WorkloadError):
+            simple_query(result_rows=-1)
+        with pytest.raises(WorkloadError):
+            simple_query(name="")

@@ -1,0 +1,71 @@
+"""Tests for the unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+from repro.exceptions import ConfigurationError
+
+
+class TestByteConversions:
+    def test_mb_converts_to_bytes(self):
+        assert units.mb(1) == 1024 * 1024
+
+    def test_gb_converts_to_bytes(self):
+        assert units.gb(2) == 2 * 1024 ** 3
+
+    def test_bytes_to_mb_round_trips(self):
+        assert units.bytes_to_mb(units.mb(37.5)) == pytest.approx(37.5)
+
+    def test_bytes_to_pages_rounds_up(self):
+        assert units.bytes_to_pages(units.DEFAULT_PAGE_SIZE + 1) == 2
+
+    def test_bytes_to_pages_zero_bytes(self):
+        assert units.bytes_to_pages(0) == 0
+
+    def test_bytes_to_pages_negative_bytes(self):
+        assert units.bytes_to_pages(-10) == 0
+
+    def test_bytes_to_pages_rejects_bad_page_size(self):
+        with pytest.raises(ConfigurationError):
+            units.bytes_to_pages(100, page_size=0)
+
+
+class TestTimeConversions:
+    def test_ms_to_seconds(self):
+        assert units.ms(1500) == pytest.approx(1.5)
+
+    def test_seconds_to_ms(self):
+        assert units.seconds_to_ms(0.25) == pytest.approx(250.0)
+
+
+class TestValidation:
+    def test_validate_fraction_accepts_bounds(self):
+        assert units.validate_fraction(0.0) == 0.0
+        assert units.validate_fraction(1.0) == 1.0
+
+    def test_validate_fraction_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            units.validate_fraction(1.2)
+        with pytest.raises(ConfigurationError):
+            units.validate_fraction(-0.1)
+
+    def test_validate_positive(self):
+        assert units.validate_positive(3.5) == 3.5
+        with pytest.raises(ConfigurationError):
+            units.validate_positive(0.0)
+
+    def test_validate_non_negative(self):
+        assert units.validate_non_negative(0.0) == 0.0
+        with pytest.raises(ConfigurationError):
+            units.validate_non_negative(-1.0)
+
+    def test_clamp_inside_interval(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_clamp_outside_interval(self):
+        assert units.clamp(2.0, 0.0, 1.0) == 1.0
+        assert units.clamp(-2.0, 0.0, 1.0) == 0.0
+
+    def test_clamp_rejects_inverted_interval(self):
+        with pytest.raises(ConfigurationError):
+            units.clamp(0.5, 1.0, 0.0)

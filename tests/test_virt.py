@@ -1,0 +1,181 @@
+"""Tests for the virtualization substrate (machine, VM, hypervisor)."""
+
+import pytest
+
+from repro.exceptions import AllocationError, ConfigurationError
+from repro.virt.contention import IOContentionVM
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.machine import DiskProfile, PhysicalMachine
+from repro.virt.vm import VirtualMachine
+
+
+class TestDiskProfile:
+    def test_defaults_are_valid(self):
+        profile = DiskProfile()
+        assert profile.random_read_ms > profile.seq_read_ms
+
+    def test_rejects_random_faster_than_sequential(self):
+        with pytest.raises(ConfigurationError):
+            DiskProfile(seq_read_ms=1.0, random_read_ms=0.5)
+
+    def test_rejects_non_positive_times(self):
+        with pytest.raises(ConfigurationError):
+            DiskProfile(seq_read_ms=0.0)
+
+
+class TestPhysicalMachine:
+    def test_cpu_seconds_scale_inversely_with_share(self):
+        machine = PhysicalMachine()
+        full = machine.cpu_seconds(1_000_000, cpu_share=1.0)
+        half = machine.cpu_seconds(1_000_000, cpu_share=0.5)
+        assert half == pytest.approx(2.0 * full)
+
+    def test_cpu_seconds_requires_positive_share(self):
+        machine = PhysicalMachine()
+        with pytest.raises(ConfigurationError):
+            machine.cpu_seconds(100, cpu_share=0.0)
+
+    def test_rejects_non_positive_memory(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalMachine(memory_mb=0)
+
+
+class TestVirtualMachine:
+    def test_environment_reflects_cpu_share(self):
+        machine = PhysicalMachine()
+        vm = VirtualMachine("vm", machine, cpu_share=0.25, memory_mb=1024)
+        env = vm.environment()
+        assert env.seconds_per_work_unit == pytest.approx(
+            machine.seconds_per_work_unit / 0.25
+        )
+
+    def test_dbms_memory_subtracts_os_reservation(self):
+        machine = PhysicalMachine()
+        vm = VirtualMachine("vm", machine, cpu_share=0.5, memory_mb=1024,
+                            os_reserved_mb=240)
+        assert vm.dbms_memory_mb == pytest.approx(784)
+
+    def test_environment_requires_cpu(self):
+        machine = PhysicalMachine()
+        vm = VirtualMachine("vm", machine, cpu_share=0.0, memory_mb=512)
+        with pytest.raises(ConfigurationError):
+            vm.environment()
+
+    def test_scaled_to_cpu_share_only_changes_cpu(self):
+        machine = PhysicalMachine()
+        vm = VirtualMachine("vm", machine, cpu_share=0.5, memory_mb=1024)
+        env = vm.environment()
+        scaled = env.scaled_to_cpu_share(0.25)
+        assert scaled.seconds_per_work_unit == pytest.approx(
+            2.0 * env.seconds_per_work_unit
+        )
+        assert scaled.seq_page_seconds == env.seq_page_seconds
+        assert scaled.random_page_seconds == env.random_page_seconds
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VirtualMachine("", PhysicalMachine(), 0.5, 512)
+
+
+class TestHypervisor:
+    def test_create_vm_registers_it(self):
+        hypervisor = Hypervisor()
+        vm = hypervisor.create_vm("a", cpu_share=0.5, memory_mb=1024)
+        assert hypervisor.get_vm("a") is vm
+        assert vm in hypervisor.vms
+
+    def test_duplicate_names_rejected(self):
+        hypervisor = Hypervisor()
+        hypervisor.create_vm("a", 0.2, 512)
+        with pytest.raises(ConfigurationError):
+            hypervisor.create_vm("a", 0.2, 512)
+
+    def test_cpu_overcommit_rejected(self):
+        hypervisor = Hypervisor()
+        hypervisor.create_vm("a", 0.7, 512)
+        with pytest.raises(AllocationError):
+            hypervisor.create_vm("b", 0.5, 512)
+
+    def test_memory_overcommit_rejected(self):
+        hypervisor = Hypervisor(PhysicalMachine(memory_mb=2048))
+        hypervisor.create_vm("a", 0.2, 1500)
+        with pytest.raises(AllocationError):
+            hypervisor.create_vm("b", 0.2, 1000)
+
+    def test_set_cpu_share_validates_feasibility(self):
+        hypervisor = Hypervisor()
+        hypervisor.create_vm("a", 0.5, 512)
+        hypervisor.create_vm("b", 0.4, 512)
+        with pytest.raises(AllocationError):
+            hypervisor.set_cpu_share("b", 0.6)
+        hypervisor.set_cpu_share("b", 0.5)
+        assert hypervisor.get_vm("b").cpu_share == pytest.approx(0.5)
+
+    def test_destroy_vm_releases_resources(self):
+        hypervisor = Hypervisor()
+        hypervisor.create_vm("a", 0.9, 1024)
+        hypervisor.destroy_vm("a")
+        hypervisor.create_vm("b", 0.9, 1024)
+
+    def test_get_unknown_vm_raises(self):
+        with pytest.raises(ConfigurationError):
+            Hypervisor().get_vm("nope")
+
+    def test_apply_allocation_is_atomic(self):
+        hypervisor = Hypervisor()
+        hypervisor.create_vm("a", 0.4, 1024)
+        hypervisor.create_vm("b", 0.4, 1024)
+        with pytest.raises(AllocationError):
+            hypervisor.apply_allocation(["a", "b"], [0.8, 0.5])
+        assert hypervisor.get_vm("a").cpu_share == pytest.approx(0.4)
+        hypervisor.apply_allocation(["a", "b"], [0.7, 0.3], [0.5, 0.25])
+        assert hypervisor.get_vm("a").cpu_share == pytest.approx(0.7)
+        assert hypervisor.get_vm("a").memory_mb == pytest.approx(0.5 * 8192)
+
+    def test_apply_allocation_validates_lengths(self):
+        hypervisor = Hypervisor()
+        hypervisor.create_vm("a", 0.4, 1024)
+        with pytest.raises(ConfigurationError):
+            hypervisor.apply_allocation(["a"], [0.4, 0.3])
+
+    def test_ten_equal_shares_are_feasible(self):
+        hypervisor = Hypervisor()
+        for index in range(10):
+            hypervisor.create_vm(f"vm{index}", 0.1, 512)
+        assert hypervisor.total_cpu_share() == pytest.approx(1.0)
+
+
+class TestIOContention:
+    def test_contention_vm_slows_down_other_vms(self):
+        hypervisor = Hypervisor()
+        vm = hypervisor.create_vm("worker", 0.5, 1024)
+        baseline = vm.environment().seq_page_seconds
+        hypervisor.create_contention_vm("noise", io_intensity=1.0)
+        with_noise = vm.environment().seq_page_seconds
+        assert with_noise == pytest.approx(2.0 * baseline)
+
+    def test_contention_vm_does_not_slow_itself(self):
+        hypervisor = Hypervisor()
+        noise = hypervisor.create_contention_vm("noise", io_intensity=1.0)
+        assert hypervisor.io_contention_factor(exclude=noise) == pytest.approx(1.0)
+
+    def test_stopping_contention_removes_slowdown(self):
+        hypervisor = Hypervisor()
+        vm = hypervisor.create_vm("worker", 0.5, 1024)
+        noise = hypervisor.create_contention_vm("noise", io_intensity=1.0)
+        noise.stop()
+        assert vm.environment().io_contention_factor == pytest.approx(1.0)
+        noise.start()
+        assert vm.environment().io_contention_factor == pytest.approx(2.0)
+
+    def test_workload_vms_excludes_contention_vm(self):
+        hypervisor = Hypervisor()
+        hypervisor.create_vm("worker", 0.5, 1024)
+        hypervisor.create_contention_vm("noise")
+        assert [vm.name for vm in hypervisor.workload_vms] == ["worker"]
+
+    def test_negative_intensity_rejected(self):
+        machine = PhysicalMachine()
+        vm = IOContentionVM("noise", machine)
+        with pytest.raises(ConfigurationError):
+            vm.set_io_intensity(-1.0)
