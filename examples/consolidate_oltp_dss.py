@@ -11,74 +11,58 @@ recommendation starves the OLTP VM and can actually perform *worse* than
 simply splitting the machine 50/50.  Online refinement observes the real
 execution times, corrects the advisor's cost model, and re-allocates the CPU.
 
+The :class:`~repro.api.ProblemBuilder` owns the engine/calibration plumbing;
+composed workloads (built from the builder's cached query templates) are
+attached with ``add_tenant(workload=...)``.  ``Advisor.refine`` dispatches to
+the paper's basic refinement procedure because only CPU is controlled.
+
 Run with::
 
     python examples/consolidate_oltp_dss.py
 """
 
-from repro import CalibrationSettings, DB2Engine, calibrate_engine
-from repro.core import (
-    ConsolidatedWorkload,
-    VirtualizationDesignAdvisor,
-    VirtualizationDesignProblem,
-    WhatIfCostEstimator,
-)
-from repro.core.cost_estimator import ActualCostFunction
-from repro.core.problem import CPU
-from repro.virt import PhysicalMachine
-from repro.workloads import tpcc_database, tpcc_transactions, tpch_database, tpch_queries
+from repro import Advisor, CalibrationSettings, ProblemBuilder
 from repro.workloads.generator import tpcc_workload
 from repro.workloads.units import mixed_cpu_workload
 
 
 def main() -> None:
-    machine = PhysicalMachine()
-    settings = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
+    builder = ProblemBuilder(
+        calibration_settings=CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
+    )
 
     # One DB2 instance hosts the order-entry database, another the
-    # reporting database; both are calibrated once on this machine.
-    oltp_db = tpcc_database(10)
-    oltp_calibration = calibrate_engine(DB2Engine(oltp_db), machine, settings)
-    dss_db = tpch_database(1.0)
-    dss_calibration = calibrate_engine(DB2Engine(dss_db), machine, settings)
-
+    # reporting database; the builder calibrates each once on its machine.
     oltp_workload = tpcc_workload(
-        tpcc_transactions(oltp_db), "order-entry",
+        builder.queries("db2", "tpcc", 10), "order-entry",
         warehouses_accessed=10, clients_per_warehouse=10,
         transactions_per_client=2000.0,
     )
     dss_workload = mixed_cpu_workload(
-        "reporting", tpch_queries(dss_db), "db2", cpu_units=4, noncpu_units=4
+        "reporting", builder.queries("db2", "tpch", 1.0), "db2",
+        cpu_units=4, noncpu_units=4,
+    )
+    problem = (
+        builder
+        .cpu_only(fixed_memory_mb=512.0)     # the paper's CPU-only setting
+        .add_tenant(workload=oltp_workload, engine="db2", benchmark="tpcc", scale=10)
+        .add_tenant(workload=dss_workload, engine="db2", benchmark="tpch", scale=1.0)
+        .build()
     )
 
-    problem = VirtualizationDesignProblem(
-        tenants=(
-            ConsolidatedWorkload(workload=oltp_workload, calibration=oltp_calibration),
-            ConsolidatedWorkload(workload=dss_workload, calibration=dss_calibration),
-        ),
-        resources=(CPU,),                    # the paper's CPU-only setting
-        fixed_memory_fraction=512.0 / 8192.0,  # 512 MB per VM
-    )
-
-    advisor = VirtualizationDesignAdvisor()
-    estimator = WhatIfCostEstimator(problem)
-    actuals = ActualCostFunction(problem)
-
-    initial = advisor.recommend(problem, estimator)
-    initial_improvement = advisor.measured_improvement(
-        problem, initial.allocations, actuals
-    )
+    advisor = Advisor()
+    report = advisor.recommend(problem)
+    initial_improvement = advisor.measured_improvement(problem, report.allocations)
     print("Before online refinement")
     print("------------------------")
-    for name, allocation in zip(problem.tenant_names(), initial.allocations):
-        print(f"  {name:<14} cpu={allocation.cpu_share:5.0%}")
+    for tenant in report.tenants:
+        print(f"  {tenant.name:<14} cpu={tenant.cpu_share:5.0%}")
     print(f"  measured improvement over 50/50: {initial_improvement:+.1%}")
     print()
 
-    refinement = advisor.refine_online(problem, actual_costs=actuals,
-                                       estimator=estimator, max_iterations=5)
+    refinement = advisor.refine(problem, max_iterations=5)
     refined_improvement = advisor.measured_improvement(
-        problem, refinement.final_allocations, actuals
+        problem, refinement.final_allocations
     )
     print(f"After online refinement ({refinement.iteration_count} iterations, "
           f"converged={refinement.converged})")

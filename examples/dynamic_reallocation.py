@@ -12,39 +12,35 @@ changes keep refining the existing cost models; major changes discard them
 and restart from the optimizer's estimates, which lets the advisor restore a
 good allocation within a single monitoring period.
 
+The base problem comes from a :class:`~repro.api.ProblemBuilder`; the
+manager itself is created through the :class:`~repro.api.Advisor` service.
+
 Run with::
 
     python examples/dynamic_reallocation.py
 """
 
-from repro import CalibrationSettings, DB2Engine, calibrate_engine
-from repro.core import ConsolidatedWorkload, VirtualizationDesignProblem
-from repro.core.dynamic import DynamicConfigurationManager
-from repro.core.problem import CPU
-from repro.virt import PhysicalMachine
-from repro.workloads import tpcc_database, tpcc_transactions, tpch_database, tpch_queries
+from repro import Advisor, CalibrationSettings, ProblemBuilder
+from repro.core import ConsolidatedWorkload
 from repro.workloads.generator import tpcc_workload
 from repro.workloads.units import compose_workload, cpu_intensive_unit, cpu_nonintensive_unit
 
 N_PERIODS = 6
 SWITCH_PERIOD = 3
-FIXED_MEMORY_FRACTION = 512.0 / 8192.0
 
 
 def main() -> None:
-    machine = PhysicalMachine()
-    settings = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
-
-    dss_db = tpch_database(1.0)
-    dss_calibration = calibrate_engine(DB2Engine(dss_db), machine, settings)
-    dss_queries = tpch_queries(dss_db)
-    oltp_db = tpcc_database(10)
-    oltp_calibration = calibrate_engine(DB2Engine(oltp_db), machine, settings)
+    builder = ProblemBuilder(
+        calibration_settings=CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
+    )
+    dss_queries = builder.queries("db2", "tpch", 1.0)
+    dss_calibration = builder.calibration("db2", "tpch", 1.0)
+    oltp_calibration = builder.calibration("db2", "tpcc", 10)
 
     unit_c = cpu_intensive_unit(dss_queries, "db2")
     unit_i = cpu_nonintensive_unit(dss_queries, "db2")
     oltp_workload = tpcc_workload(
-        tpcc_transactions(oltp_db), "order-entry",
+        builder.queries("db2", "tpcc", 10), "order-entry",
         warehouses_accessed=8, clients_per_warehouse=10,
     )
 
@@ -58,12 +54,16 @@ def main() -> None:
     def oltp_tenant():
         return ConsolidatedWorkload(workload=oltp_workload, calibration=oltp_calibration)
 
-    base_problem = VirtualizationDesignProblem(
-        tenants=(dss_tenant(0), oltp_tenant()),
-        resources=(CPU,),
-        fixed_memory_fraction=FIXED_MEMORY_FRACTION,
+    base_problem = (
+        builder
+        .cpu_only(fixed_memory_mb=512.0)
+        .add_tenant(workload=dss_tenant(0).workload, engine="db2",
+                    benchmark="tpch", scale=1.0)
+        .add_tenant(workload=oltp_workload, engine="db2",
+                    benchmark="tpcc", scale=10)
+        .build()
     )
-    manager = DynamicConfigurationManager(base_problem)
+    manager = Advisor().dynamic_manager(base_problem)
     initial = manager.initial_recommendation()
     print("Initial recommendation:",
           ", ".join(f"VM{i + 1} cpu={a.cpu_share:.0%}" for i, a in enumerate(initial)))

@@ -10,96 +10,85 @@ receive a fifth of the CPU.  This example shows how
 * a *benefit gain factor* ``G_i`` expresses that improving one workload is
   worth more than improving the others.
 
+Each variant is expressed as a declarative :class:`~repro.api.Scenario` —
+plain data that could equally live in a JSON file or arrive over the wire —
+and solved by the :class:`~repro.api.Advisor`; the per-tenant degradations
+come straight from the :class:`~repro.api.RecommendationReport`.
+
 Run with::
 
     python examples/qos_priorities.py
 """
 
-from repro import CalibrationSettings, DB2Engine, calibrate_engine
-from repro.core import (
-    ConsolidatedWorkload,
-    UNLIMITED_DEGRADATION,
-    VirtualizationDesignAdvisor,
-    VirtualizationDesignProblem,
-    WhatIfCostEstimator,
-)
-from repro.core.problem import CPU
-from repro.virt import PhysicalMachine
-from repro.workloads import tpch_database, tpch_queries
-from repro.workloads.units import compose_workload, cpu_intensive_unit
+from repro import Advisor, Scenario
+from repro.workloads.units import CPU_UNIT_Q18_INSTANCES
 
 N_WORKLOADS = 5
-FIXED_MEMORY_FRACTION = 512.0 / 8192.0
+
+#: One C unit for DB2: the canonical Section 7.3 instance count of TPC-H Q18.
+C_UNIT_STATEMENTS = [["q18", CPU_UNIT_Q18_INSTANCES["db2"]]]
 
 
-def build_problem(calibration, queries, degradation_limits, gain_factors):
-    unit = cpu_intensive_unit(queries, "db2")
-    tenants = []
-    for index in range(N_WORKLOADS):
-        workload = compose_workload(f"W{index + 9}", [(unit, 1.0)])
-        tenants.append(
-            ConsolidatedWorkload(
-                workload=workload,
-                calibration=calibration,
-                degradation_limit=degradation_limits[index],
-                gain_factor=gain_factors[index],
-            )
-        )
-    return VirtualizationDesignProblem(
-        tenants=tuple(tenants), resources=(CPU,),
-        fixed_memory_fraction=FIXED_MEMORY_FRACTION,
-    )
+def scenario(name, degradation_limits, gain_factors) -> Scenario:
+    return Scenario.from_dict({
+        "name": name,
+        "resources": ["cpu"],
+        "fixed_memory_fraction": 512.0 / 8192.0,
+        "calibration": {"cpu_shares": [0.2, 0.4, 0.6, 0.8, 1.0]},
+        "tenants": [
+            {
+                "name": f"W{index + 9}",
+                "engine": "db2",
+                "statements": C_UNIT_STATEMENTS,
+                "degradation_limit": degradation_limits[index],
+                "gain_factor": gain_factors[index],
+            }
+            for index in range(N_WORKLOADS)
+        ],
+    })
 
 
-def report(title, problem, recommendation):
-    estimator = WhatIfCostEstimator(problem)
+def report(title, recommendation_report) -> None:
     print(title)
     print("-" * len(title))
-    for index, (name, allocation) in enumerate(
-        zip(problem.tenant_names(), recommendation.allocations)
-    ):
-        tenant = problem.tenant(index)
-        degradation = estimator.degradation(index, allocation)
-        limit = ("none" if tenant.degradation_limit == UNLIMITED_DEGRADATION
+    for tenant in recommendation_report.tenants:
+        limit = ("none" if tenant.degradation_limit == float("inf")
                  else f"{tenant.degradation_limit:.1f}")
-        print(f"  {name}: cpu={allocation.cpu_share:5.0%}  "
-              f"degradation={degradation:4.1f}x (limit {limit}, "
+        print(f"  {tenant.name}: cpu={tenant.cpu_share:5.0%}  "
+              f"degradation={tenant.degradation:4.1f}x (limit {limit}, "
               f"gain {tenant.gain_factor:.0f})")
     print()
 
 
 def main() -> None:
-    machine = PhysicalMachine()
-    settings = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
-    database = tpch_database(1.0)
-    calibration = calibrate_engine(DB2Engine(database), machine, settings)
-    queries = tpch_queries(database)
-    advisor = VirtualizationDesignAdvisor()
+    advisor = Advisor()
 
-    # 1. No QoS settings: everyone gets 1/5 of the CPU.
-    plain = build_problem(calibration, queries,
-                          [UNLIMITED_DEGRADATION] * N_WORKLOADS, [1.0] * N_WORKLOADS)
-    report("No QoS settings", plain, advisor.recommend(plain))
+    variants = [
+        # 1. No QoS settings: everyone gets 1/5 of the CPU.
+        ("No QoS settings",
+         scenario("no-qos", [None] * N_WORKLOADS, [1.0] * N_WORKLOADS)),
+        # 2. Degradation limits on the first two workloads (L9=2.5, L10=2.5):
+        #    the advisor shifts CPU toward them so their estimated slow-down
+        #    stays within the limit, at the cost of the other workloads.
+        ("Degradation limits L9 = L10 = 2.5",
+         scenario("degradation-limits",
+                  [2.5, 2.5] + [None] * (N_WORKLOADS - 2),
+                  [1.0] * N_WORKLOADS)),
+        # 3. Benefit gain factors: W9 is eight times as important as the
+        #    rest, W10 four times.  CPU follows the priorities.
+        ("Benefit gain factors G9 = 8, G10 = 4",
+         scenario("gain-factors",
+                  [None] * N_WORKLOADS,
+                  [8.0, 4.0, 1.0, 1.0, 1.0])),
+    ]
 
-    # 2. Degradation limits on the first two workloads (L9=2.5, L10=2.5):
-    #    the advisor shifts CPU toward them so their estimated slow-down
-    #    stays within the limit, at the cost of the other workloads.
-    limited = build_problem(
-        calibration, queries,
-        [2.5, 2.5] + [UNLIMITED_DEGRADATION] * (N_WORKLOADS - 2),
-        [1.0] * N_WORKLOADS,
-    )
-    report("Degradation limits L9 = L10 = 2.5", limited, advisor.recommend(limited))
-
-    # 3. Benefit gain factors: W9 is eight times as important as the rest,
-    #    W10 four times.  CPU follows the priorities.
-    prioritized = build_problem(
-        calibration, queries,
-        [UNLIMITED_DEGRADATION] * N_WORKLOADS,
-        [8.0, 4.0, 1.0, 1.0, 1.0],
-    )
-    report("Benefit gain factors G9 = 8, G10 = 4", prioritized,
-           advisor.recommend(prioritized))
+    # All three variants share one machine and calibration spec, so the
+    # builder is threaded through: the DB2 engine is calibrated once and
+    # only the tenants (the QoS settings) change.
+    builder = None
+    for title, variant in variants:
+        builder = variant.to_builder(builder)
+        report(title, advisor.recommend(builder.build()))
 
 
 if __name__ == "__main__":

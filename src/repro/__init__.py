@@ -10,23 +10,50 @@ The package provides:
 * the query-optimizer calibration machinery (:mod:`repro.calibration`),
 * the virtualization design advisor — greedy configuration enumeration, QoS
   constraints, online refinement, and dynamic configuration management
-  (:mod:`repro.core`), and
+  (:mod:`repro.core`),
+* the unified advisor API — fluent :class:`~repro.api.ProblemBuilder`,
+  declarative :class:`~repro.api.Scenario` specs, the pluggable
+  :class:`~repro.api.Advisor` service, and serializable
+  :class:`~repro.api.RecommendationReport`\\ s (:mod:`repro.api`), and
 * the experiment harness reproducing every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
 Quick start::
 
-    from repro import quickstart_problem, VirtualizationDesignAdvisor
+    from repro import Advisor, ProblemBuilder
 
-    problem = quickstart_problem()
-    advisor = VirtualizationDesignAdvisor()
-    recommendation = advisor.recommend(problem)
-    for name, allocation in zip(problem.tenant_names(), recommendation.allocations):
-        print(name, allocation.cpu_share, allocation.memory_fraction)
+    problem = (
+        ProblemBuilder()
+        .add_tenant("postgresql-io-bound", engine="postgresql",
+                    statements=[("q17", 1.0)])
+        .add_tenant("db2-cpu-bound", engine="db2",
+                    statements=[("q18", 1.0)])
+        .build()
+    )
+    report = Advisor().recommend(problem)
+    for tenant in report.tenants:
+        print(tenant.name, tenant.cpu_share, tenant.memory_fraction)
+    print(report.to_json(indent=2))
+
+Strategies are pluggable by name — ``Advisor(enumerator="exhaustive")``,
+``Advisor(cost_function="actual")`` — or by instance; whole scenarios can be
+defined as data via :meth:`repro.api.Scenario.from_dict`.
+
+.. deprecated::
+    :class:`~repro.core.advisor.VirtualizationDesignAdvisor` remains
+    available as a thin shim over :class:`~repro.api.Advisor` for existing
+    code; prefer the unified API above.
 """
 
 from __future__ import annotations
 
+from .api import (
+    Advisor,
+    ProblemBuilder,
+    RecommendationReport,
+    Scenario,
+    TenantSpec,
+)
 from .calibration import CalibrationSettings, calibrate_engine
 from .core import (
     ConsolidatedWorkload,
@@ -43,18 +70,23 @@ from .dbms.postgres import PostgreSQLEngine
 from .virt import Hypervisor, PhysicalMachine
 from .workloads import Workload, tpcc_database, tpcc_transactions, tpch_database, tpch_queries
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ActualCostFunction",
+    "Advisor",
     "CalibrationSettings",
     "ConsolidatedWorkload",
     "DB2Engine",
     "Hypervisor",
     "PhysicalMachine",
     "PostgreSQLEngine",
+    "ProblemBuilder",
     "Recommendation",
+    "RecommendationReport",
     "ResourceAllocation",
+    "Scenario",
+    "TenantSpec",
     "UNLIMITED_DEGRADATION",
     "VirtualizationDesignAdvisor",
     "VirtualizationDesignProblem",
@@ -76,35 +108,28 @@ def quickstart_problem(scale_factor: float = 1.0) -> VirtualizationDesignProblem
     One PostgreSQL VM runs an I/O-bound workload (TPC-H Q17) and one DB2 VM
     runs a CPU-bound workload (TPC-H Q18) — the paper's motivating example
     in miniature.  Both engines are calibrated on a default physical
-    machine.
+    machine via :class:`~repro.api.ProblemBuilder`::
+
+        from repro import Advisor, quickstart_problem
+
+        report = Advisor().recommend(quickstart_problem())
+        print(report.to_json(indent=2))
     """
-    from .workloads.workload import Workload as _Workload
-    from .workloads.workload import WorkloadStatement
-
-    machine = PhysicalMachine()
-    settings = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
-
-    pg_database = tpch_database(scale_factor, name=f"tpch_pg_sf{scale_factor:g}")
-    pg_engine = PostgreSQLEngine(pg_database)
-    pg_calibration = calibrate_engine(pg_engine, machine, settings)
-    pg_queries = tpch_queries(pg_database)
-
-    db2_database = tpch_database(scale_factor, name=f"tpch_db2_sf{scale_factor:g}")
-    db2_engine = DB2Engine(db2_database)
-    db2_calibration = calibrate_engine(db2_engine, machine, settings)
-    db2_queries = tpch_queries(db2_database)
-
-    pg_workload = _Workload(
-        name="postgresql-io-bound",
-        statements=(WorkloadStatement(query=pg_queries["q17"], frequency=1.0),),
-    )
-    db2_workload = _Workload(
-        name="db2-cpu-bound",
-        statements=(WorkloadStatement(query=db2_queries["q18"], frequency=1.0),),
-    )
-    return VirtualizationDesignProblem(
-        tenants=(
-            ConsolidatedWorkload(workload=pg_workload, calibration=pg_calibration),
-            ConsolidatedWorkload(workload=db2_workload, calibration=db2_calibration),
-        ),
+    return (
+        ProblemBuilder()
+        .add_tenant(
+            "postgresql-io-bound",
+            engine="postgresql",
+            scale=scale_factor,
+            statements=[("q17", 1.0)],
+            database_name=f"tpch_pg_sf{scale_factor:g}",
+        )
+        .add_tenant(
+            "db2-cpu-bound",
+            engine="db2",
+            scale=scale_factor,
+            statements=[("q18", 1.0)],
+            database_name=f"tpch_db2_sf{scale_factor:g}",
+        )
+        .build()
     )

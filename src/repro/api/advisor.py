@@ -1,0 +1,402 @@
+"""The advisor service object: pluggable strategies over a shared cache.
+
+:class:`Advisor` is the new front door to the paper's pipeline (Figure 3).
+Unlike the original :class:`~repro.core.advisor.VirtualizationDesignAdvisor`
+facade — which hard-wired one greedy enumerator and rebuilt a fresh cost
+estimator on every call — the service accepts each pipeline stage as an
+instance *or* a registered strategy name, and answers repeated what-if
+questions from one shared :class:`~repro.api.cache.CostCache`, so the
+recommend, exhaustive-verification, and refinement phases (and repeated
+runs over re-built problems) never pay for the same optimizer call twice.
+
+    from repro.api import Advisor
+
+    advisor = Advisor()                      # greedy + what-if
+    report = advisor.recommend(problem)      # -> RecommendationReport
+    report.to_json()
+
+    Advisor(enumerator="exhaustive")         # optimal-baseline search
+    Advisor(cost_function="actual")          # ground-truth measurement
+    Advisor(refinement="generalized")        # force a refinement procedure
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+from ..core.advisor import Recommendation
+from ..core.dynamic import DynamicConfigurationManager
+from ..core.enumerator import EnumerationResult, ExhaustiveSearch
+from ..core.problem import (
+    ResourceAllocation,
+    UNLIMITED_DEGRADATION,
+    VirtualizationDesignProblem,
+)
+from ..core.refinement import RefinementResult
+from ..exceptions import ConfigurationError
+from ..monitoring.metrics import improvement_over_default, relative_improvement
+from .cache import CachedCostFunction, CostCache
+from .report import (
+    CostCallStats,
+    RecommendationReport,
+    StrategyProvenance,
+    TenantReport,
+)
+from .strategies import (
+    COST_FUNCTIONS,
+    ENUMERATORS,
+    REFINEMENTS,
+    CostFunctionLike,
+    EnumerationStrategy,
+)
+
+#: How many problems' wrapped cost functions the advisor keeps alive.
+_DEFAULT_PROBLEM_MEMO_SIZE = 64
+
+EnumeratorSpec = Union[str, EnumerationStrategy]
+CostFunctionSpec = Union[str, CostFunctionLike]
+
+
+def _strategy_name(spec: Any) -> str:
+    """Human-readable provenance name for a strategy spec."""
+    if isinstance(spec, str):
+        return spec
+    return type(spec).__name__
+
+
+class Advisor:
+    """Recommends virtual machine configurations for consolidated DBMSes.
+
+    Args:
+        enumerator: an :class:`EnumerationStrategy` instance or a name
+            registered in :data:`~repro.api.strategies.ENUMERATORS`
+            (``"greedy"``, ``"exhaustive"``).
+        cost_function: a cost-function instance (bound to one problem) or a
+            name registered in :data:`~repro.api.strategies.COST_FUNCTIONS`
+            (``"what-if"``, ``"actual"``).  Named cost functions are built
+            per problem and share one cost cache across problems and phases.
+        refinement: a name registered in
+            :data:`~repro.api.strategies.REFINEMENTS` (``"basic"``,
+            ``"generalized"``), or ``None`` to dispatch automatically on the
+            number of controlled resources (the paper's rule).
+        delta / min_share / max_iterations: enumeration knobs, forwarded to
+            named enumerator factories.
+        max_combinations: grid budget forwarded to ``"exhaustive"``.
+    """
+
+    def __init__(
+        self,
+        enumerator: EnumeratorSpec = "greedy",
+        cost_function: CostFunctionSpec = "what-if",
+        refinement: Optional[str] = None,
+        delta: float = 0.05,
+        min_share: float = 0.05,
+        max_iterations: int = 500,
+        max_combinations: int = 2_000_000,
+    ) -> None:
+        self.delta = delta
+        self.min_share = min_share
+        self.max_iterations = max_iterations
+        self.max_combinations = max_combinations
+        self.enumerator = enumerator  # property: resolves names, tracks provenance
+        self._cost_function_spec = cost_function
+        self._refinement_spec = refinement
+        #: One shared cache per named cost-function strategy.
+        self._shared_caches: Dict[str, CostCache] = {}
+        #: Per-problem wrapped cost functions (LRU on problem identity).
+        self._cost_functions: "OrderedDict[Tuple[int, str], Tuple[VirtualizationDesignProblem, CachedCostFunction]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Strategy resolution
+    # ------------------------------------------------------------------
+    @property
+    def enumerator(self) -> EnumerationStrategy:
+        """The resolved enumeration strategy.
+
+        Assignable with an instance or a registered name; either way the
+        provenance recorded in subsequent reports follows the assignment.
+        """
+        return self._enumerator
+
+    @enumerator.setter
+    def enumerator(self, spec: EnumeratorSpec) -> None:
+        self._enumerator_name = _strategy_name(spec)
+        self._enumerator = self._resolve_enumerator(spec)
+
+    def _resolve_enumerator(self, spec: EnumeratorSpec) -> EnumerationStrategy:
+        if isinstance(spec, str):
+            return ENUMERATORS.create(
+                spec,
+                delta=self.delta,
+                min_share=self.min_share,
+                max_iterations=self.max_iterations,
+                max_combinations=self.max_combinations,
+            )
+        # Accept any object with an enumerate() method: the Protocol's
+        # delta/min_share members are conveniences some strategies expose,
+        # not requirements for running a recommendation.
+        if not callable(getattr(spec, "enumerate", None)):
+            raise ConfigurationError(
+                f"enumerator must be a registered name or provide an "
+                f"enumerate(problem, cost_function) method; got {type(spec).__name__}"
+            )
+        return spec
+
+    def cost_function(
+        self,
+        problem: VirtualizationDesignProblem,
+        override: Optional[CostFunctionSpec] = None,
+    ) -> CachedCostFunction:
+        """The (memoized) wrapped cost function for ``problem``.
+
+        Repeated calls with the same problem return the same wrapper, which
+        is what makes a repeated ``recommend`` free of new cost evaluations.
+        """
+        spec = override if override is not None else self._cost_function_spec
+        if not isinstance(spec, str):
+            # Instance specs are caller-owned (often per-call temporaries),
+            # so they are wrapped fresh and never memoized — retaining them
+            # would keep dead estimators and their caches alive.  A cost
+            # function bound to an *equal* (re-built) problem is fine: equal
+            # problems yield identical costs.
+            inner_problem = getattr(spec, "problem", None)
+            if (
+                inner_problem is not None
+                and inner_problem is not problem
+                and inner_problem != problem
+            ):
+                raise ConfigurationError(
+                    "the supplied cost function is bound to a different problem"
+                )
+            return CachedCostFunction(problem, spec, CostCache())
+        memo_key = (id(problem), spec)
+        memoized = self._cost_functions.get(memo_key)
+        if memoized is not None and memoized[0] is problem:
+            self._cost_functions.move_to_end(memo_key)
+            return memoized[1]
+        inner = COST_FUNCTIONS.create(spec, problem=problem)
+        cache = self._shared_caches.setdefault(spec, CostCache())
+        wrapped = CachedCostFunction(problem, inner, cache)
+        self._cost_functions[memo_key] = (problem, wrapped)
+        while len(self._cost_functions) > _DEFAULT_PROBLEM_MEMO_SIZE:
+            self._cost_functions.popitem(last=False)
+        return wrapped
+
+    def _grid_enumerator(self) -> EnumerationStrategy:
+        """An enumerator with the delta/min_share grid attributes.
+
+        Refinement and dynamic management sample the cost models on the
+        enumerator's allocation grid; a custom strategy exposing only
+        ``enumerate()`` cannot provide one, so those paths fall back to a
+        greedy enumerator built from the advisor's knobs.
+        """
+        if hasattr(self.enumerator, "delta") and hasattr(self.enumerator, "min_share"):
+            return self.enumerator
+        return ENUMERATORS.create(
+            "greedy",
+            delta=self.delta,
+            min_share=self.min_share,
+            max_iterations=self.max_iterations,
+        )
+
+    def clear_caches(self) -> None:
+        """Drop all shared cost caches and per-problem wrappers."""
+        for cache in self._shared_caches.values():
+            cache.clear()
+        self._cost_functions.clear()
+
+    # ------------------------------------------------------------------
+    # Static recommendation (Section 4)
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: Optional[CostFunctionSpec] = None,
+        enumerator: Optional[EnumeratorSpec] = None,
+    ) -> RecommendationReport:
+        """Produce a recommendation report for a problem.
+
+        ``cost_function`` and ``enumerator`` override the advisor-level
+        strategies for this call only.
+        """
+        costs = self.cost_function(problem, cost_function)
+        search = self.enumerator if enumerator is None else self._resolve_enumerator(enumerator)
+        started = time.perf_counter()
+        evaluations_before = costs.evaluations
+        hits_before = costs.cache.hits
+        misses_before = costs.cache.misses
+
+        result = search.enumerate(problem, costs)
+        recommendation = self._to_recommendation(problem, costs, result)
+        tenants = self._tenant_reports(problem, costs, recommendation)
+
+        elapsed = time.perf_counter() - started
+        stats = CostCallStats(
+            evaluations=costs.evaluations - evaluations_before,
+            cache_hits=costs.cache.hits - hits_before,
+            cache_misses=costs.cache.misses - misses_before,
+        )
+        provenance = StrategyProvenance(
+            enumerator=(
+                self._enumerator_name if enumerator is None
+                else _strategy_name(enumerator)
+            ),
+            cost_function=_strategy_name(
+                cost_function if cost_function is not None
+                else self._cost_function_spec
+            ),
+            refinement=None,
+            options={
+                "delta": getattr(search, "delta", self.delta),
+                "min_share": getattr(search, "min_share", self.min_share),
+                "max_iterations": self.max_iterations,
+            },
+        )
+        return RecommendationReport(
+            recommendation=recommendation,
+            tenants=tenants,
+            provenance=provenance,
+            cost_stats=stats,
+            wall_time_seconds=elapsed,
+        )
+
+    def recommend_exhaustive(
+        self,
+        problem: VirtualizationDesignProblem,
+        cost_function: Optional[CostFunctionSpec] = None,
+        delta: Optional[float] = None,
+        max_combinations: Optional[int] = None,
+    ) -> RecommendationReport:
+        """Recommend by exhaustive grid search (the optimal baseline)."""
+        search = ExhaustiveSearch(
+            delta=delta if delta is not None else getattr(self.enumerator, "delta", self.delta),
+            min_share=getattr(self.enumerator, "min_share", self.min_share),
+            max_combinations=(
+                max_combinations if max_combinations is not None
+                else self.max_combinations
+            ),
+        )
+        report = self.recommend(problem, cost_function=cost_function, enumerator=search)
+        provenance = StrategyProvenance(
+            enumerator="exhaustive",
+            cost_function=report.provenance.cost_function,
+            refinement=None,
+            options=report.provenance.options,
+        )
+        return RecommendationReport(
+            recommendation=report.recommendation,
+            tenants=report.tenants,
+            provenance=provenance,
+            cost_stats=report.cost_stats,
+            wall_time_seconds=report.wall_time_seconds,
+        )
+
+    def _to_recommendation(
+        self,
+        problem: VirtualizationDesignProblem,
+        costs: CostFunctionLike,
+        result: EnumerationResult,
+    ) -> Recommendation:
+        default_cost = costs.total_cost(problem.default_allocation())
+        return Recommendation(
+            allocations=result.allocations,
+            per_workload_costs=result.per_workload_costs,
+            total_cost=result.total_cost,
+            default_cost=default_cost,
+            estimated_improvement=relative_improvement(default_cost, result.total_cost),
+            iterations=result.iterations,
+            cost_calls=result.cost_calls,
+        )
+
+    def _tenant_reports(
+        self,
+        problem: VirtualizationDesignProblem,
+        costs: CostFunctionLike,
+        recommendation: Recommendation,
+    ) -> Tuple[TenantReport, ...]:
+        reports = []
+        for index, allocation in enumerate(recommendation.allocations):
+            tenant = problem.tenant(index)
+            reports.append(
+                TenantReport(
+                    name=tenant.name,
+                    cpu_share=allocation.cpu_share,
+                    memory_fraction=allocation.memory_fraction,
+                    estimated_cost=recommendation.per_workload_costs[index],
+                    degradation=costs.degradation(index, allocation),
+                    degradation_limit=tenant.degradation_limit,
+                    gain_factor=tenant.gain_factor,
+                )
+            )
+        return tuple(reports)
+
+    # ------------------------------------------------------------------
+    # Online refinement (Section 5)
+    # ------------------------------------------------------------------
+    def refine(
+        self,
+        problem: VirtualizationDesignProblem,
+        actual_costs: Optional[CostFunctionSpec] = None,
+        estimator: Optional[CostFunctionSpec] = None,
+        refinement: Optional[str] = None,
+        max_iterations: int = 8,
+    ) -> RefinementResult:
+        """Refine the recommendation using observed workload execution times.
+
+        The estimator defaults to the advisor's (shared-cache) cost
+        function, so refinement reuses every estimate the recommend phase
+        already made; the observed costs default to the ``"actual"``
+        strategy.
+        """
+        estimator_fn = self.cost_function(problem, estimator)
+        actual_fn = self.cost_function(
+            problem, actual_costs if actual_costs is not None else "actual"
+        )
+        spec = refinement or self._refinement_spec
+        if spec is None:
+            spec = "basic" if len(problem.resources) == 1 else "generalized"
+        strategy = REFINEMENTS.create(
+            spec,
+            problem=problem,
+            estimator=estimator_fn,
+            actual_costs=actual_fn,
+            enumerator=self._grid_enumerator(),
+            max_iterations=max_iterations,
+        )
+        return strategy.run()
+
+    # ------------------------------------------------------------------
+    # Dynamic configuration management (Section 6)
+    # ------------------------------------------------------------------
+    def dynamic_manager(
+        self,
+        problem: VirtualizationDesignProblem,
+        always_refine: bool = False,
+        actual_cost_factory: Optional[Callable] = None,
+    ) -> DynamicConfigurationManager:
+        """Create a dynamic configuration manager for a (CPU-only) problem."""
+        return DynamicConfigurationManager(
+            base_problem=problem,
+            enumerator=self._grid_enumerator(),
+            always_refine=always_refine,
+            actual_cost_factory=actual_cost_factory,
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement helpers
+    # ------------------------------------------------------------------
+    def measured_improvement(
+        self,
+        problem: VirtualizationDesignProblem,
+        allocations: Tuple[ResourceAllocation, ...],
+        actual_costs: Optional[CostFunctionSpec] = None,
+    ) -> float:
+        """Actual relative improvement of an allocation over the default."""
+        actuals = self.cost_function(
+            problem, actual_costs if actual_costs is not None else "actual"
+        )
+        return improvement_over_default(problem, allocations, actuals)

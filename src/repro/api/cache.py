@@ -1,0 +1,221 @@
+"""Shared memoization of cost-function evaluations.
+
+Every phase of the advisor pipeline — greedy enumeration, exhaustive
+search, degradation reporting, online refinement — asks the same question:
+``Cost(W_i, R_i)``.  The what-if estimator answers it by invoking the
+calibrated query optimizer, which is the dominant cost of a recommendation
+(Section 7.2 of the paper measures it).  The seed code cached those calls
+per cost-function *instance*, so every phase (and every re-built problem)
+re-paid the optimizer.
+
+:class:`CostCache` is a cache that can be shared across cost-function
+instances, problems, and phases.  It is keyed on the *content identity* of
+a tenant — the ``(workload, calibration)`` pair — plus the allocation
+vector, because the cost of a tenant depends on nothing else: degradation
+limits and gain factors are applied outside the raw cost, and the physical
+machine is part of the calibration.  Experiment drivers re-wrap the same
+workload and calibration objects into fresh tenants and problems on every
+sweep step, so keying on the pair (rather than the tenant or the problem)
+lets a recommendation reuse every estimate made by earlier steps.
+
+:class:`CachedCostFunction` is the per-problem view over a (possibly
+shared) :class:`CostCache`; it exposes the same surface as
+:class:`repro.core.cost_estimator.CostFunction` so enumerators, refinement,
+and reports can use it interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.cost_estimator import CostFunction, _CachingCostFunction
+from ..core.problem import (
+    ConsolidatedWorkload,
+    ResourceAllocation,
+    VirtualizationDesignProblem,
+)
+from ..exceptions import EstimationError
+
+#: Allocation shares are rounded to this many decimals in cache keys so the
+#: floating-point noise of repeated ±delta shifts does not defeat the cache
+#: (same policy as the per-instance caches in :mod:`repro.core.cost_estimator`).
+_CACHE_DECIMALS = 6
+
+#: Cache keys: (namespace, workload id, calibration id, cpu, memory).  The
+#: namespace identifies the cost semantics (cost-function family and its
+#: parameters) so one cache shared across differently-configured cost
+#: functions cannot serve a value computed under other parameters.
+_Key = Tuple[str, int, int, float, float]
+
+
+#: Default bound on cached values (~tens of MB at worst); far above what a
+#: full benchmark session uses, but it keeps a long-lived advisor service
+#: from growing without limit.
+DEFAULT_MAX_ENTRIES = 100_000
+
+
+class CostCache:
+    """A memoizing cost cache shareable across problems and phases.
+
+    The cache keeps strong references to the workload and calibration
+    objects appearing in its keys so that Python cannot recycle their
+    ``id()`` for a different object while the cache is alive.
+
+    Memory is bounded by ``max_entries`` via a generational reset: when the
+    bound is reached the values *and* the pinned objects are dropped
+    wholesale (partial eviction would need per-object reference counts to
+    keep the pins sound).  The hit/miss counters survive the reset so
+    in-flight statistics deltas stay monotonic.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._values: Dict[_Key, float] = {}
+        self._pins: Dict[int, object] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(
+        namespace: str,
+        tenant: ConsolidatedWorkload,
+        allocation: ResourceAllocation,
+    ) -> _Key:
+        return (
+            namespace,
+            id(tenant.workload),
+            id(tenant.calibration),
+            round(allocation.cpu_share, _CACHE_DECIMALS),
+            round(allocation.memory_fraction, _CACHE_DECIMALS),
+        )
+
+    def get(
+        self,
+        namespace: str,
+        tenant: ConsolidatedWorkload,
+        allocation: ResourceAllocation,
+    ) -> Optional[float]:
+        """Cached cost of ``tenant`` under ``allocation``, or ``None``."""
+        value = self._values.get(self._key(namespace, tenant, allocation))
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(
+        self,
+        namespace: str,
+        tenant: ConsolidatedWorkload,
+        allocation: ResourceAllocation,
+        value: float,
+    ) -> None:
+        """Store the cost of ``tenant`` under ``allocation``."""
+        key = self._key(namespace, tenant, allocation)
+        if key not in self._values and len(self._values) >= self.max_entries:
+            self._values.clear()
+            self._pins.clear()
+        self._values[key] = value
+        self._pins.setdefault(id(tenant.workload), tenant.workload)
+        self._pins.setdefault(id(tenant.calibration), tenant.calibration)
+
+    @property
+    def size(self) -> int:
+        """Number of cached cost values."""
+        return len(self._values)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all cached values and reset the counters."""
+        self._values.clear()
+        self._pins.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class CachedCostFunction(CostFunction):
+    """A cost function memoized through a (shareable) :class:`CostCache`.
+
+    Wraps any :class:`~repro.core.cost_estimator.CostFunction`; lookups hit
+    the shared cache first and only fall through to the wrapped function on
+    a miss.  ``call_count`` mirrors the wrapped function's, i.e. it counts
+    *actual evaluations*, which is what
+    :class:`~repro.core.enumerator.EnumerationResult` reports as
+    ``cost_calls``.  The derived totals (``weighted_cost``, ``total_cost``,
+    ``degradation``, ...) are inherited from the base class and route
+    through the cached :meth:`cost`.
+
+    Cache entries are namespaced by the wrapped function's
+    ``cache_namespace`` (its family plus cost-relevant parameters), so one
+    cache shared across differently-configured cost functions stays sound.
+    """
+
+    def __init__(
+        self,
+        problem: VirtualizationDesignProblem,
+        inner: CostFunction,
+        cache: Optional[CostCache] = None,
+    ) -> None:
+        # Deliberately no super().__init__(): ``call_count`` is a read-only
+        # mirror of the wrapped function's counter here, not an attribute.
+        self.problem = problem
+        self.inner = inner
+        self.cache = cache if cache is not None else CostCache()
+        self._namespace = getattr(inner, "cache_namespace", type(inner).__name__)
+        # The built-in estimators carry their own unbounded per-instance
+        # cache; route around it so values are not stored twice and the
+        # shared cache's max_entries actually bounds memory.  Unknown
+        # CostFunction subclasses keep their own cost() behavior.
+        if isinstance(inner, _CachingCostFunction):
+            self._evaluate = lambda index, allocation: CostFunction.cost(
+                inner, index, allocation
+            )
+        else:
+            self._evaluate = inner.cost
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def call_count(self) -> int:
+        """Underlying cost evaluations performed (cache hits excluded)."""
+        return self.inner.call_count
+
+    #: Alias used by the report's cost-call statistics.
+    @property
+    def evaluations(self) -> int:
+        return self.inner.call_count
+
+    def clear_cache(self) -> None:
+        """Drop the shared cache and the wrapped function's own cache."""
+        self.cache.clear()
+        clear = getattr(self.inner, "clear_cache", None)
+        if clear is not None:
+            clear()
+
+    # ------------------------------------------------------------------
+    # CostFunction surface
+    # ------------------------------------------------------------------
+    def _cost(self, tenant_index: int, allocation: ResourceAllocation) -> float:
+        raise NotImplementedError(  # pragma: no cover - cost() never calls this
+            "CachedCostFunction delegates to its wrapped cost function"
+        )
+
+    def cost(self, tenant_index: int, allocation: ResourceAllocation) -> float:
+        """Cost (seconds) of tenant ``tenant_index`` under ``allocation``."""
+        if not 0 <= tenant_index < self.problem.n_workloads:
+            raise EstimationError(f"tenant index {tenant_index} out of range")
+        tenant = self.problem.tenant(tenant_index)
+        cached = self.cache.get(self._namespace, tenant, allocation)
+        if cached is not None:
+            return cached
+        value = self._evaluate(tenant_index, allocation)
+        self.cache.put(self._namespace, tenant, allocation, value)
+        return value

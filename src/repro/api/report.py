@@ -1,0 +1,209 @@
+"""Structured, serializable recommendation reports.
+
+The seed advisor returned a bare :class:`~repro.core.advisor.Recommendation`
+tuple of numbers; callers that wanted per-tenant degradations, strategy
+provenance, or machine-readable output re-derived them by hand.
+:class:`RecommendationReport` packages everything one recommendation run
+produced — the recommendation itself, a per-tenant breakdown (allocation,
+estimated cost, degradation against the dedicated-machine baseline, QoS
+settings), the strategies that produced it, and timing / cost-call
+statistics — and serializes to a plain dict / JSON document.
+
+For compatibility, the report also exposes the
+:class:`~repro.core.advisor.Recommendation` attributes directly
+(``report.allocations``, ``report.total_cost``, ...), so code written
+against the old facade keeps working when handed a report.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.advisor import Recommendation
+from ..core.problem import ResourceAllocation
+
+
+def _json_safe(value: float) -> Optional[float]:
+    """Map non-finite floats (e.g. an unlimited degradation) to ``None``."""
+    if value is None or math.isinf(value) or math.isnan(value):
+        return None
+    return value
+
+
+@dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant outcome of one recommendation.
+
+    Attributes:
+        name: workload name.
+        cpu_share / memory_fraction: the recommended allocation.
+        estimated_cost: estimated cost (seconds) under the recommendation.
+        degradation: ``Cost(W_i, R_i) / Cost(W_i, full machine)``.
+        degradation_limit: the tenant's QoS limit ``L_i`` (infinity = none).
+        gain_factor: the tenant's benefit gain factor ``G_i``.
+    """
+
+    name: str
+    cpu_share: float
+    memory_fraction: float
+    estimated_cost: float
+    degradation: float
+    degradation_limit: float
+    gain_factor: float
+
+    @property
+    def meets_degradation_limit(self) -> bool:
+        """Whether the recommendation honours the tenant's QoS limit."""
+        return self.degradation <= self.degradation_limit + 1e-9
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cpu_share": self.cpu_share,
+            "memory_fraction": self.memory_fraction,
+            "estimated_cost": self.estimated_cost,
+            "degradation": self.degradation,
+            "degradation_limit": _json_safe(self.degradation_limit),
+            "gain_factor": self.gain_factor,
+            "meets_degradation_limit": self.meets_degradation_limit,
+        }
+
+
+@dataclass(frozen=True)
+class StrategyProvenance:
+    """Which strategies produced a recommendation, and with what knobs."""
+
+    enumerator: str
+    cost_function: str
+    refinement: Optional[str] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enumerator": self.enumerator,
+            "cost_function": self.cost_function,
+            "refinement": self.refinement,
+            "options": dict(self.options),
+        }
+
+
+@dataclass(frozen=True)
+class CostCallStats:
+    """Cost-call accounting for one recommendation run.
+
+    Attributes:
+        evaluations: underlying cost evaluations actually performed (what-if
+            optimizer invocations or simulated runs).
+        cache_hits / cache_misses: shared-cache traffic during the run.
+    """
+
+    evaluations: int
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class RecommendationReport:
+    """The advisor's full answer to one design problem."""
+
+    recommendation: Recommendation
+    tenants: Tuple[TenantReport, ...]
+    provenance: StrategyProvenance
+    cost_stats: CostCallStats
+    wall_time_seconds: float
+
+    # ------------------------------------------------------------------
+    # Recommendation passthrough (old-facade compatibility)
+    # ------------------------------------------------------------------
+    @property
+    def allocations(self) -> Tuple[ResourceAllocation, ...]:
+        return self.recommendation.allocations
+
+    @property
+    def per_workload_costs(self) -> Tuple[float, ...]:
+        return self.recommendation.per_workload_costs
+
+    @property
+    def total_cost(self) -> float:
+        return self.recommendation.total_cost
+
+    @property
+    def default_cost(self) -> float:
+        return self.recommendation.default_cost
+
+    @property
+    def estimated_improvement(self) -> float:
+        return self.recommendation.estimated_improvement
+
+    @property
+    def iterations(self) -> int:
+        return self.recommendation.iterations
+
+    @property
+    def cost_calls(self) -> int:
+        return self.recommendation.cost_calls
+
+    def allocation_of(self, tenant_index: int) -> ResourceAllocation:
+        """Allocation recommended for one tenant."""
+        return self.recommendation.allocations[tenant_index]
+
+    def tenant(self, name: str) -> TenantReport:
+        """The per-tenant report for the named workload."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The report as a JSON-safe dictionary."""
+        return {
+            "recommendation": {
+                "allocations": [
+                    {
+                        "tenant": tenant.name,
+                        "cpu_share": allocation.cpu_share,
+                        "memory_fraction": allocation.memory_fraction,
+                    }
+                    for tenant, allocation in zip(
+                        self.tenants, self.recommendation.allocations
+                    )
+                ],
+                "per_workload_costs": list(self.recommendation.per_workload_costs),
+                "total_cost": self.recommendation.total_cost,
+                "default_cost": self.recommendation.default_cost,
+                "estimated_improvement": self.recommendation.estimated_improvement,
+                "iterations": self.recommendation.iterations,
+                "cost_calls": self.recommendation.cost_calls,
+            },
+            "tenants": [tenant.to_dict() for tenant in self.tenants],
+            "provenance": self.provenance.to_dict(),
+            "cost_stats": self.cost_stats.to_dict(),
+            "wall_time_seconds": self.wall_time_seconds,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

@@ -1,32 +1,29 @@
-"""The virtualization design advisor facade.
+"""The original virtualization design advisor facade (deprecated shim).
 
-:class:`VirtualizationDesignAdvisor` ties the pieces together in the shape
-shown in Figure 3 of the paper: a configuration enumerator exploring the
-space of allocations, a cost estimator answering what-if questions through
-the calibrated query optimizers, plus the online-refinement and
-dynamic-management extensions of Sections 5 and 6.
+.. deprecated::
+    :class:`VirtualizationDesignAdvisor` is kept as a thin compatibility
+    shim over the unified advisor API.  New code should use
+    :class:`repro.api.Advisor`, which accepts pluggable strategies
+    (``enumerator=``, ``cost_function=``, ``refinement=`` as instances or
+    registered names), shares a memoizing cost cache across phases, and
+    returns a structured, serializable
+    :class:`~repro.api.report.RecommendationReport`.
+
+:class:`Recommendation` remains the canonical numeric result type; the new
+API embeds it in its reports.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from ..exceptions import ConfigurationError
-from ..monitoring.metrics import relative_improvement
+from ..monitoring.metrics import improvement_over_default
 from .cost_estimator import ActualCostFunction, CostFunction, WhatIfCostEstimator
 from .dynamic import DynamicConfigurationManager
-from .enumerator import (
-    EnumerationResult,
-    ExhaustiveSearch,
-    GreedyConfigurationEnumerator,
-)
 from .problem import ResourceAllocation, VirtualizationDesignProblem
-from .refinement import (
-    BasicOnlineRefinement,
-    GeneralizedOnlineRefinement,
-    RefinementResult,
-)
+from .refinement import RefinementResult
 
 
 @dataclass(frozen=True)
@@ -60,7 +57,12 @@ class Recommendation:
 
 
 class VirtualizationDesignAdvisor:
-    """Recommends virtual machine configurations for consolidated DBMSes."""
+    """Deprecated facade over :class:`repro.api.Advisor`.
+
+    Kept so existing callers continue to work unchanged; every method
+    delegates to the unified advisor service and unwraps its report back to
+    the original return types.
+    """
 
     def __init__(
         self,
@@ -68,13 +70,35 @@ class VirtualizationDesignAdvisor:
         min_share: float = 0.05,
         max_iterations: int = 500,
     ) -> None:
-        self.enumerator = GreedyConfigurationEnumerator(
+        warnings.warn(
+            "VirtualizationDesignAdvisor is deprecated; use repro.api.Advisor "
+            "(pluggable strategies, shared cost cache, structured reports)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..api.advisor import Advisor  # local import avoids a cycle
+
+        self._advisor = Advisor(
             delta=delta, min_share=min_share, max_iterations=max_iterations
         )
+
+    @property
+    def enumerator(self):
+        """The enumeration strategy (assignable, as on the old facade)."""
+        return self._advisor.enumerator
+
+    @enumerator.setter
+    def enumerator(self, value) -> None:
+        self._advisor.enumerator = value
 
     # ------------------------------------------------------------------
     # Static recommendation (Section 4)
     # ------------------------------------------------------------------
+    # The old facade built a fresh what-if estimator per call, so repeated
+    # calls reported a stable, non-zero ``cost_calls``.  The shim preserves
+    # that by bypassing the new advisor's shared cache with explicit
+    # per-call cost functions; callers wanting the cache should move to
+    # :class:`repro.api.Advisor`.
     def recommend(
         self,
         problem: VirtualizationDesignProblem,
@@ -82,8 +106,9 @@ class VirtualizationDesignAdvisor:
     ) -> Recommendation:
         """Produce the initial, static recommendation for a problem."""
         cost_function = cost_function or WhatIfCostEstimator(problem)
-        result = self.enumerator.enumerate(problem, cost_function)
-        return self._to_recommendation(problem, cost_function, result)
+        return self._advisor.recommend(
+            problem, cost_function=cost_function
+        ).recommendation
 
     def recommend_exhaustive(
         self,
@@ -92,37 +117,14 @@ class VirtualizationDesignAdvisor:
         delta: Optional[float] = None,
         max_combinations: int = 2_000_000,
     ) -> Recommendation:
-        """Find the best allocation by exhaustive grid search.
-
-        With an :class:`ActualCostFunction` this computes the paper's
-        "optimal allocation obtained by exhaustively enumerating all
-        feasible allocations and measuring performance in each one".
-        """
+        """Find the best allocation by exhaustive grid search."""
         cost_function = cost_function or WhatIfCostEstimator(problem)
-        search = ExhaustiveSearch(
-            delta=delta if delta is not None else self.enumerator.delta,
-            min_share=self.enumerator.min_share,
+        return self._advisor.recommend_exhaustive(
+            problem,
+            cost_function=cost_function,
+            delta=delta,
             max_combinations=max_combinations,
-        )
-        result = search.search(problem, cost_function)
-        return self._to_recommendation(problem, cost_function, result)
-
-    def _to_recommendation(
-        self,
-        problem: VirtualizationDesignProblem,
-        cost_function: CostFunction,
-        result: EnumerationResult,
-    ) -> Recommendation:
-        default_cost = cost_function.total_cost(problem.default_allocation())
-        return Recommendation(
-            allocations=result.allocations,
-            per_workload_costs=result.per_workload_costs,
-            total_cost=result.total_cost,
-            default_cost=default_cost,
-            estimated_improvement=relative_improvement(default_cost, result.total_cost),
-            iterations=result.iterations,
-            cost_calls=result.cost_calls,
-        )
+        ).recommendation
 
     # ------------------------------------------------------------------
     # Online refinement (Section 5)
@@ -131,23 +133,16 @@ class VirtualizationDesignAdvisor:
         self,
         problem: VirtualizationDesignProblem,
         actual_costs: Optional[CostFunction] = None,
-        estimator: Optional[WhatIfCostEstimator] = None,
+        estimator: Optional[CostFunction] = None,
         max_iterations: int = 8,
     ) -> RefinementResult:
         """Refine the recommendation using observed workload execution times."""
-        estimator = estimator or WhatIfCostEstimator(problem)
-        actual_costs = actual_costs or ActualCostFunction(problem)
-        if len(problem.resources) == 1:
-            refinement = BasicOnlineRefinement(
-                problem, estimator, actual_costs,
-                enumerator=self.enumerator, max_iterations=max_iterations,
-            )
-        else:
-            refinement = GeneralizedOnlineRefinement(
-                problem, estimator, actual_costs,
-                enumerator=self.enumerator, max_iterations=max_iterations,
-            )
-        return refinement.run()
+        return self._advisor.refine(
+            problem,
+            actual_costs=actual_costs or ActualCostFunction(problem),
+            estimator=estimator or WhatIfCostEstimator(problem),
+            max_iterations=max_iterations,
+        )
 
     # ------------------------------------------------------------------
     # Dynamic configuration management (Section 6)
@@ -159,9 +154,8 @@ class VirtualizationDesignAdvisor:
         actual_cost_factory=None,
     ) -> DynamicConfigurationManager:
         """Create a dynamic configuration manager for a (CPU-only) problem."""
-        return DynamicConfigurationManager(
-            base_problem=problem,
-            enumerator=self.enumerator,
+        return self._advisor.dynamic_manager(
+            problem,
             always_refine=always_refine,
             actual_cost_factory=actual_cost_factory,
         )
@@ -177,6 +171,4 @@ class VirtualizationDesignAdvisor:
     ) -> float:
         """Actual relative improvement of an allocation over the default."""
         actual_costs = actual_costs or ActualCostFunction(problem)
-        default_cost = actual_costs.total_cost(problem.default_allocation())
-        new_cost = actual_costs.total_cost(allocations)
-        return relative_improvement(default_cost, new_cost)
+        return improvement_over_default(problem, allocations, actual_costs)

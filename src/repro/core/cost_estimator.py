@@ -17,6 +17,7 @@ seconds.  Three implementations are provided:
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from typing import Dict, Mapping, Optional, Tuple
 
@@ -138,6 +139,10 @@ class ModelCostFunction(_CachingCostFunction):
     supplied base cost function (usually the what-if estimator).
     """
 
+    #: Monotonic ids for cache namespaces; unlike ``id()``, never reused, so
+    #: a shared cache cannot serve a freed instance's costs to a new one.
+    _namespace_counter = itertools.count()
+
     def __init__(
         self,
         problem: VirtualizationDesignProblem,
@@ -147,6 +152,7 @@ class ModelCostFunction(_CachingCostFunction):
         super().__init__(problem)
         self.models = dict(models)
         self.fallback = fallback
+        self._cache_namespace = f"model-{next(self._namespace_counter)}"
 
     def _cost(self, tenant_index: int, allocation: ResourceAllocation) -> float:
         model = self.models.get(tenant_index)
@@ -157,6 +163,11 @@ class ModelCostFunction(_CachingCostFunction):
         raise EstimationError(
             f"no cost model or fallback available for tenant {tenant_index}"
         )
+
+    @property
+    def cache_namespace(self) -> str:
+        """Shared-cache namespace; per-instance because the models are."""
+        return self._cache_namespace
 
 
 class ActualCostFunction(_CachingCostFunction):
@@ -175,6 +186,14 @@ class ActualCostFunction(_CachingCostFunction):
         super().__init__(problem)
         self.io_contention_intensity = io_contention_intensity
         self.os_reserved_mb = os_reserved_mb
+
+    @property
+    def cache_namespace(self) -> str:
+        """Shared-cache namespace: the family plus its cost-relevant knobs."""
+        return (
+            f"actual:io={self.io_contention_intensity:g}"
+            f":os={self.os_reserved_mb:g}"
+        )
 
     def environment(self, allocation: ResourceAllocation) -> VMEnvironment:
         """The VM environment realized for a given allocation."""

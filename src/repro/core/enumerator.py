@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..exceptions import OptimizationError
 from .cost_estimator import CostFunction
@@ -285,7 +285,14 @@ class ExhaustiveSearch:
         problem: VirtualizationDesignProblem,
         cost_function: CostFunction,
     ) -> EnumerationResult:
-        """Evaluate every grid allocation and return the cheapest feasible one."""
+        """Evaluate every grid allocation and return the cheapest feasible one.
+
+        A tenant's cost depends only on its own ``(cpu, memory)`` level, so
+        the per-tenant costs over the distinct grid levels are computed once
+        up front; the combination loop then reduces to table lookups and
+        float arithmetic instead of re-walking the cost-function machinery
+        for every one of the (potentially millions of) grid points.
+        """
         n = problem.n_workloads
         calls_before = cost_function.call_count
         cpu_grids = self._share_grid(n)
@@ -306,32 +313,61 @@ class ExhaustiveSearch:
             if problem.tenant(i).degradation_limit != UNLIMITED_DEGRADATION
         }
 
-        best_allocations: Optional[Tuple[ResourceAllocation, ...]] = None
+        # Per-tenant cost tables over every distinct (cpu, memory) level pair
+        # (every pair can occur: the cpu and memory grids combine freely).
+        cpu_levels = sorted({share for combo in cpu_grids for share in combo})
+        memory_levels = sorted({f for combo in memory_grids for f in combo})
+        cost_tables: List[Dict[Tuple[float, float], float]] = [
+            {
+                (cpu, memory): cost_function.cost(
+                    i, ResourceAllocation(cpu_share=cpu, memory_fraction=memory)
+                )
+                for cpu in cpu_levels
+                for memory in memory_levels
+            }
+            for i in range(n)
+        ]
+        gains = [problem.tenant(i).gain_factor for i in range(n)]
+        # Feasibility bounds: max admissible cost per limited tenant.
+        bounds: Dict[int, float] = {}
+        if self.enforce_degradation_limits:
+            for index, base in full_costs.items():
+                if base > 0:
+                    limit = problem.tenant(index).degradation_limit
+                    bounds[index] = limit * base + _EPSILON
+
+        best_shares: Optional[Tuple[Tuple[float, ...], Tuple[float, ...]]] = None
         best_weighted = math.inf
         examined = 0
+        indices = range(n)
         for cpu_shares in cpu_grids:
             for memory_fractions in memory_grids:
                 examined += 1
-                allocations = tuple(
-                    ResourceAllocation(cpu_share=cpu_shares[i],
-                                       memory_fraction=memory_fractions[i])
-                    for i in range(n)
-                )
-                if self.enforce_degradation_limits and not self._feasible(
-                    problem, cost_function, full_costs, allocations
-                ):
+                feasible = True
+                for index, bound in bounds.items():
+                    if cost_tables[index][(cpu_shares[index], memory_fractions[index])] > bound:
+                        feasible = False
+                        break
+                if not feasible:
                     continue
-                weighted = cost_function.total_weighted_cost(allocations)
+                weighted = 0.0
+                for i in indices:
+                    weighted += gains[i] * cost_tables[i][(cpu_shares[i], memory_fractions[i])]
                 if weighted < best_weighted:
                     best_weighted = weighted
-                    best_allocations = allocations
+                    best_shares = (cpu_shares, memory_fractions)
 
-        if best_allocations is None:
+        if best_shares is None:
             raise OptimizationError(
                 "exhaustive search found no allocation satisfying the degradation limits"
             )
+        best_allocations = tuple(
+            ResourceAllocation(cpu_share=best_shares[0][i],
+                               memory_fraction=best_shares[1][i])
+            for i in range(n)
+        )
         per_costs = tuple(
-            cost_function.cost(i, best_allocations[i]) for i in range(n)
+            cost_tables[i][(best_shares[0][i], best_shares[1][i])] for i in range(n)
         )
         return EnumerationResult(
             allocations=best_allocations,
@@ -342,20 +378,12 @@ class ExhaustiveSearch:
             cost_calls=cost_function.call_count - calls_before,
         )
 
-    def _feasible(
+    def enumerate(
         self,
         problem: VirtualizationDesignProblem,
         cost_function: CostFunction,
-        full_costs: dict,
-        allocations: Sequence[ResourceAllocation],
-    ) -> bool:
-        for index, allocation in enumerate(allocations):
-            limit = problem.tenant(index).degradation_limit
-            if limit == UNLIMITED_DEGRADATION:
-                continue
-            base = full_costs[index]
-            if base <= 0:
-                continue
-            if cost_function.cost(index, allocation) > limit * base + _EPSILON:
-                return False
-        return True
+    ) -> EnumerationResult:
+        """Alias for :meth:`search` so exhaustive and greedy enumeration share
+        the :class:`repro.api.strategies.EnumerationStrategy` interface."""
+        return self.search(problem, cost_function)
+

@@ -9,13 +9,14 @@ them so a benchmark run does not recalibrate for every figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..calibration import CalibrationSettings, calibrate_engine
+from ..api.advisor import Advisor
+from ..api.builder import ProblemBuilder
+from ..api.report import RecommendationReport
+from ..calibration import CalibrationSettings
 from ..calibration.calibrator import EngineCalibration
-from ..core.advisor import Recommendation, VirtualizationDesignAdvisor
-from ..core.cost_estimator import ActualCostFunction, CostFunction, WhatIfCostEstimator
+from ..core.cost_estimator import CostFunction
 from ..core.enumerator import ExhaustiveSearch
 from ..core.problem import (
     CPU,
@@ -26,16 +27,11 @@ from ..core.problem import (
     VirtualizationDesignProblem,
 )
 from ..dbms.catalog import Database
-from ..dbms.db2 import DB2Engine
 from ..dbms.interface import DatabaseEngine
-from ..dbms.memory import DB2MemoryPolicy, PostgresMemoryPolicy
-from ..dbms.postgres import PostgreSQLEngine
 from ..dbms.query import QuerySpec
-from ..exceptions import ConfigurationError, OptimizationError
-from ..monitoring.metrics import relative_improvement
+from ..exceptions import OptimizationError
+from ..monitoring.metrics import improvement_over_default
 from ..virt.machine import PhysicalMachine
-from ..workloads.tpcc import tpcc_database, tpcc_transactions
-from ..workloads.tpch import tpch_database, tpch_queries
 from ..workloads.workload import Workload
 
 #: Default calibration grid used by the experiments; a moderately coarse
@@ -49,17 +45,14 @@ DEFAULT_CALIBRATION_SETTINGS = CalibrationSettings(
 FIXED_MEMORY_FRACTION_512MB = 512.0 / 8192.0
 
 
-@dataclass(frozen=True)
-class EngineKey:
-    """Cache key identifying one calibrated engine instance."""
-
-    engine: str
-    benchmark: str
-    scale: float
-
-
 class ExperimentContext:
-    """Lazily built, cached engines, calibrations, and query templates."""
+    """Lazily built, cached engines, calibrations, and query templates.
+
+    The infrastructure caching (databases, engines, calibrations, query
+    templates per ``(engine, benchmark, scale)`` spec) is delegated to a
+    :class:`~repro.api.builder.ProblemBuilder`, so the experiment harness
+    and the public API share one implementation.
+    """
 
     def __init__(
         self,
@@ -69,70 +62,33 @@ class ExperimentContext:
     ) -> None:
         self.machine = machine or PhysicalMachine()
         self.calibration_settings = calibration_settings or DEFAULT_CALIBRATION_SETTINGS
-        self.advisor = VirtualizationDesignAdvisor(delta=advisor_delta)
-        self._databases: Dict[EngineKey, Database] = {}
-        self._engines: Dict[EngineKey, DatabaseEngine] = {}
-        self._calibrations: Dict[EngineKey, EngineCalibration] = {}
-        self._queries: Dict[EngineKey, Dict[str, QuerySpec]] = {}
+        # The unified advisor service: its shared cost cache lets repeated
+        # sweeps over re-built problems (same workloads and calibrations)
+        # answer previously seen what-if questions without re-invoking the
+        # simulated optimizers.
+        self.advisor = Advisor(delta=advisor_delta)
+        self._builder = ProblemBuilder(
+            machine=self.machine, calibration_settings=self.calibration_settings
+        )
 
     # ------------------------------------------------------------------
-    # Engine / calibration factories
+    # Engine / calibration factories (delegated to the builder)
     # ------------------------------------------------------------------
-    def _key(self, engine: str, benchmark: str, scale: float) -> EngineKey:
-        return EngineKey(engine=engine, benchmark=benchmark, scale=scale)
-
-    def _build_database(self, key: EngineKey) -> Database:
-        name = f"{key.benchmark}_{key.engine}_{key.scale:g}"
-        if key.benchmark == "tpch":
-            return tpch_database(key.scale, name=name)
-        if key.benchmark == "tpcc":
-            return tpcc_database(int(key.scale), name=name)
-        raise ConfigurationError(f"unknown benchmark {key.benchmark!r}")
-
-    def _build_engine(self, key: EngineKey, database: Database) -> DatabaseEngine:
-        if key.engine == "postgresql":
-            return PostgreSQLEngine(database, memory_policy=PostgresMemoryPolicy())
-        if key.engine == "db2":
-            return DB2Engine(database, memory_policy=DB2MemoryPolicy())
-        raise ConfigurationError(f"unknown engine {key.engine!r}")
-
     def database(self, engine: str, benchmark: str, scale: float) -> Database:
         """The (cached) database catalog for one engine/benchmark/scale."""
-        key = self._key(engine, benchmark, scale)
-        if key not in self._databases:
-            self._databases[key] = self._build_database(key)
-        return self._databases[key]
+        return self._builder.database(engine, benchmark, scale)
 
     def engine(self, engine: str, benchmark: str, scale: float) -> DatabaseEngine:
         """The (cached) engine instance for one engine/benchmark/scale."""
-        key = self._key(engine, benchmark, scale)
-        if key not in self._engines:
-            self._engines[key] = self._build_engine(key, self.database(engine, benchmark, scale))
-        return self._engines[key]
+        return self._builder.engine(engine, benchmark, scale)
 
     def calibration(self, engine: str, benchmark: str, scale: float) -> EngineCalibration:
         """The (cached) calibration of one engine on the shared machine."""
-        key = self._key(engine, benchmark, scale)
-        if key not in self._calibrations:
-            self._calibrations[key] = calibrate_engine(
-                self.engine(engine, benchmark, scale),
-                self.machine,
-                self.calibration_settings,
-            )
-        return self._calibrations[key]
+        return self._builder.calibration(engine, benchmark, scale)
 
     def queries(self, engine: str, benchmark: str, scale: float) -> Dict[str, QuerySpec]:
         """The (cached) query/transaction templates for one database."""
-        key = self._key(engine, benchmark, scale)
-        if key not in self._queries:
-            database = self.database(engine, benchmark, scale)
-            if benchmark == "tpch":
-                self._queries[key] = tpch_queries(database)
-            elif benchmark == "tpcc":
-                self._queries[key] = tpcc_transactions(database)
-            else:
-                raise ConfigurationError(f"unknown benchmark {benchmark!r}")
-        return self._queries[key]
+        return self._builder.queries(engine, benchmark, scale)
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -177,15 +133,20 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # Measurement helpers
     # ------------------------------------------------------------------
-    def estimator(self, problem: VirtualizationDesignProblem) -> WhatIfCostEstimator:
-        """A what-if cost estimator for a problem."""
-        return WhatIfCostEstimator(problem)
+    def estimator(self, problem: VirtualizationDesignProblem):
+        """A what-if cost estimator for a problem.
 
-    def actuals(self, problem: VirtualizationDesignProblem) -> ActualCostFunction:
-        """A ground-truth cost function for a problem."""
-        return ActualCostFunction(problem)
+        Served through the advisor's shared cost cache, so estimates made
+        for one sweep step are reused by later steps that re-build problems
+        around the same workloads and calibrations.
+        """
+        return self.advisor.cost_function(problem, "what-if")
 
-    def recommend(self, problem: VirtualizationDesignProblem) -> Recommendation:
+    def actuals(self, problem: VirtualizationDesignProblem):
+        """A ground-truth cost function for a problem (shared-cache backed)."""
+        return self.advisor.cost_function(problem, "actual")
+
+    def recommend(self, problem: VirtualizationDesignProblem) -> RecommendationReport:
         """Run the advisor's static recommendation for a problem."""
         return self.advisor.recommend(problem)
 
@@ -197,8 +158,7 @@ class ExperimentContext:
     ) -> float:
         """Actual improvement of ``allocations`` over the default allocation."""
         actuals = actuals or self.actuals(problem)
-        default_cost = actuals.total_cost(problem.default_allocation())
-        return relative_improvement(default_cost, actuals.total_cost(allocations))
+        return improvement_over_default(problem, allocations, actuals)
 
     def best_effort_optimal(
         self,

@@ -27,6 +27,18 @@ def relative_improvement(default_cost: float, new_cost: float) -> float:
     return (default_cost - new_cost) / default_cost
 
 
+def improvement_over_default(problem, allocations, cost_function) -> float:
+    """Relative improvement of ``allocations`` over the default ``1/N`` split.
+
+    ``cost_function`` is anything with ``total_cost(allocations)`` — a
+    what-if estimator for estimated improvement or an actual-cost function
+    for measured improvement.  This is the one implementation behind the
+    advisor facades' and the experiment harness's ``measured_improvement``.
+    """
+    default_cost = cost_function.total_cost(problem.default_allocation())
+    return relative_improvement(default_cost, cost_function.total_cost(allocations))
+
+
 def relative_modeling_error(estimated: float, actual: float) -> float:
     """``E_ip``: relative error between estimated and observed cost (Section 6)."""
     if estimated < 0 or actual < 0:

@@ -4,6 +4,10 @@ The simulator expresses memory in megabytes, time in seconds, and resource
 allocations as fractions in ``[0, 1]``.  These helpers keep conversions
 explicit and give validation errors early instead of letting bad values
 propagate into cost formulas.
+
+This module is the canonical home of the conversion helpers;
+:mod:`repro.workloads.units` (the workload-composition units of
+Sections 7.3–7.4) re-exports them for backwards compatibility.
 """
 
 from __future__ import annotations

@@ -13,6 +13,10 @@ come from differences in *resource needs*, not simply workload length:
 
 This module provides those units plus general helpers for composing units
 into workloads.
+
+The *unit-conversion* helpers (``mb``, ``validate_fraction``, ...) are
+canonical in :mod:`repro.units` and re-exported here unchanged, so code that
+historically imported them from either module resolves the same objects.
 """
 
 from __future__ import annotations
@@ -22,6 +26,22 @@ from typing import Dict, Iterable, Mapping, Sequence, Tuple
 
 from ..dbms.query import QuerySpec
 from ..exceptions import WorkloadError
+from ..units import (  # noqa: F401  (re-exported; canonical in repro.units)
+    DEFAULT_PAGE_SIZE,
+    GB,
+    KB,
+    MB,
+    bytes_to_mb,
+    bytes_to_pages,
+    clamp,
+    gb,
+    mb,
+    ms,
+    seconds_to_ms,
+    validate_fraction,
+    validate_non_negative,
+    validate_positive,
+)
 from .workload import DEFAULT_MONITORING_INTERVAL_SECONDS, Workload, WorkloadStatement
 
 

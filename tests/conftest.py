@@ -22,6 +22,18 @@ FAST_CALIBRATION = CalibrationSettings(cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0))
 
 
 @pytest.fixture(scope="session")
+def fast_calibration() -> CalibrationSettings:
+    """The fast calibration grid, exposed as a fixture.
+
+    Test modules must not import from ``conftest`` directly (the rootdir
+    layout makes ``from .conftest import ...`` fail and a plain
+    ``import conftest`` ambiguous with the repository-root bootstrap
+    conftest); depend on this fixture instead.
+    """
+    return FAST_CALIBRATION
+
+
+@pytest.fixture(scope="session")
 def machine() -> PhysicalMachine:
     """The shared physical machine used across tests."""
     return PhysicalMachine()

@@ -22,13 +22,11 @@ FIXED_MEMORY = 512.0 / 8192.0
 
 
 @pytest.fixture(scope="module")
-def tpcc_calibration(machine, tpcc_w10):
+def tpcc_calibration(machine, tpcc_w10, fast_calibration):
     from repro.calibration import calibrate_engine
     from repro.dbms.db2 import DB2Engine
 
-    from .conftest import FAST_CALIBRATION
-
-    return calibrate_engine(DB2Engine(tpcc_w10), machine, FAST_CALIBRATION)
+    return calibrate_engine(DB2Engine(tpcc_w10), machine, fast_calibration)
 
 
 @pytest.fixture()

@@ -69,3 +69,19 @@ class TestValidation:
     def test_clamp_rejects_inverted_interval(self):
         with pytest.raises(ConfigurationError):
             units.clamp(0.5, 1.0, 0.0)
+
+
+class TestUnitsModulesAreDeduplicated:
+    """repro.units is canonical; repro.workloads.units re-exports it."""
+
+    def test_conversion_helpers_resolve_to_the_same_objects(self):
+        from repro.workloads import units as workload_units
+
+        for name in (
+            "KB", "MB", "GB", "DEFAULT_PAGE_SIZE",
+            "mb", "gb", "bytes_to_mb", "bytes_to_pages",
+            "ms", "seconds_to_ms",
+            "validate_fraction", "validate_positive",
+            "validate_non_negative", "clamp",
+        ):
+            assert getattr(workload_units, name) is getattr(units, name), name
