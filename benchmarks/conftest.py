@@ -13,7 +13,13 @@ from pathlib import Path
 
 import pytest
 
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+# Same packaging approach as the repository-root conftest: prefer the
+# installed package; fall back to the src layout only when ``repro`` is not
+# importable (offline machines without an editable install).
+try:
+    import repro  # noqa: F401  (already installed)
+except ModuleNotFoundError:  # pragma: no cover - environment dependent
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.calibration import CalibrationSettings  # noqa: E402
 from repro.experiments.harness import ExperimentContext  # noqa: E402

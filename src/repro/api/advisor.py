@@ -28,7 +28,11 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from ..core.advisor import Recommendation
 from ..core.dynamic import DynamicConfigurationManager
-from ..core.enumerator import EnumerationResult, ExhaustiveSearch
+from ..core.enumerator import (
+    DynamicProgrammingSearch,
+    EnumerationResult,
+    ExhaustiveSearch,
+)
 from ..core.problem import (
     ResourceAllocation,
     UNLIMITED_DEGRADATION,
@@ -72,7 +76,7 @@ class Advisor:
     Args:
         enumerator: an :class:`EnumerationStrategy` instance or a name
             registered in :data:`~repro.api.strategies.ENUMERATORS`
-            (``"greedy"``, ``"exhaustive"``).
+            (``"greedy"``, ``"exhaustive"``, ``"exhaustive-dp"``).
         cost_function: a cost-function instance (bound to one problem) or a
             name registered in :data:`~repro.api.strategies.COST_FUNCTIONS`
             (``"what-if"``, ``"actual"``).  Named cost functions are built
@@ -225,10 +229,18 @@ class Advisor:
         """
         costs = self.cost_function(problem, cost_function)
         search = self.enumerator if enumerator is None else self._resolve_enumerator(enumerator)
+        engines = list(
+            {
+                id(t.calibration.engine): t.calibration.engine
+                for t in problem.tenants
+            }.values()
+        )
         started = time.perf_counter()
         evaluations_before = costs.evaluations
         hits_before = costs.cache.hits
         misses_before = costs.cache.misses
+        optimizer_before = sum(e.optimizer_call_count() for e in engines)
+        plan_hits_before = sum(e.plan_cache_hit_count() for e in engines)
 
         result = search.enumerate(problem, costs)
         recommendation = self._to_recommendation(problem, costs, result)
@@ -239,6 +251,12 @@ class Advisor:
             evaluations=costs.evaluations - evaluations_before,
             cache_hits=costs.cache.hits - hits_before,
             cache_misses=costs.cache.misses - misses_before,
+            optimizer_calls=(
+                sum(e.optimizer_call_count() for e in engines) - optimizer_before
+            ),
+            plan_cache_hits=(
+                sum(e.plan_cache_hit_count() for e in engines) - plan_hits_before
+            ),
         )
         provenance = StrategyProvenance(
             enumerator=(
@@ -270,19 +288,40 @@ class Advisor:
         cost_function: Optional[CostFunctionSpec] = None,
         delta: Optional[float] = None,
         max_combinations: Optional[int] = None,
+        method: str = "exhaustive-dp",
     ) -> RecommendationReport:
-        """Recommend by exhaustive grid search (the optimal baseline)."""
-        search = ExhaustiveSearch(
-            delta=delta if delta is not None else getattr(self.enumerator, "delta", self.delta),
-            min_share=getattr(self.enumerator, "min_share", self.min_share),
-            max_combinations=(
-                max_combinations if max_combinations is not None
-                else self.max_combinations
-            ),
+        """Recommend by optimal grid search (the paper's exhaustive baseline).
+
+        ``method="exhaustive-dp"`` (the default) computes the optimum with
+        the exact dynamic program, which has no combination budget;
+        ``method="exhaustive"`` walks the brute-force cartesian product
+        (bounded by ``max_combinations``) for cross-checking.
+        """
+        grid_delta = (
+            delta if delta is not None else getattr(self.enumerator, "delta", self.delta)
         )
+        grid_min_share = getattr(self.enumerator, "min_share", self.min_share)
+        if method == "exhaustive":
+            search: EnumerationStrategy = ExhaustiveSearch(
+                delta=grid_delta,
+                min_share=grid_min_share,
+                max_combinations=(
+                    max_combinations if max_combinations is not None
+                    else self.max_combinations
+                ),
+            )
+        elif method == "exhaustive-dp":
+            search = DynamicProgrammingSearch(
+                delta=grid_delta, min_share=grid_min_share
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown optimal-search method {method!r}; "
+                f"expected 'exhaustive-dp' or 'exhaustive'"
+            )
         report = self.recommend(problem, cost_function=cost_function, enumerator=search)
         provenance = StrategyProvenance(
-            enumerator="exhaustive",
+            enumerator=method,
             cost_function=report.provenance.cost_function,
             refinement=None,
             options=report.provenance.options,

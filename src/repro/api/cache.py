@@ -26,9 +26,13 @@ and reports can use it interchangeably.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.cost_estimator import CostFunction, _CachingCostFunction
+from ..core.cost_estimator import (
+    CostFunction,
+    _CachingCostFunction,
+    resolve_batch_through_cache,
+)
 from ..core.problem import (
     ConsolidatedWorkload,
     ResourceAllocation,
@@ -177,8 +181,18 @@ class CachedCostFunction(CostFunction):
             self._evaluate = lambda index, allocation: CostFunction.cost(
                 inner, index, allocation
             )
+            self._evaluate_many = lambda index, allocations: CostFunction.cost_many(
+                inner, index, allocations
+            )
         else:
             self._evaluate = inner.cost
+            batch = getattr(inner, "cost_many", None)
+            if callable(batch):
+                self._evaluate_many = batch
+            else:
+                self._evaluate_many = lambda index, allocations: [
+                    inner.cost(index, allocation) for allocation in allocations
+                ]
 
     # ------------------------------------------------------------------
     # Bookkeeping
@@ -219,3 +233,38 @@ class CachedCostFunction(CostFunction):
         value = self._evaluate(tenant_index, allocation)
         self.cache.put(self._namespace, tenant, allocation, value)
         return value
+
+    def cost_many(
+        self, tenant_index: int, allocations: Sequence[ResourceAllocation]
+    ) -> List[float]:
+        """Batch counterpart of :meth:`cost` over the shared cache.
+
+        Misses are deduplicated within the batch and evaluated in one call
+        through the wrapped function's batch path; hit/miss accounting
+        matches what the equivalent sequence of :meth:`cost` calls would
+        record (a repeated allocation counts as a hit).
+        """
+        if not 0 <= tenant_index < self.problem.n_workloads:
+            raise EstimationError(f"tenant index {tenant_index} out of range")
+        tenant = self.problem.tenant(tenant_index)
+
+        def record_duplicate_hit() -> None:
+            # A sequential cost() loop would find the first occurrence's
+            # value already cached by the time it sees the duplicate.
+            self.cache.hits += 1
+
+        return resolve_batch_through_cache(
+            allocations,
+            key_of=lambda allocation: (
+                round(allocation.cpu_share, _CACHE_DECIMALS),
+                round(allocation.memory_fraction, _CACHE_DECIMALS),
+            ),
+            get_cached=lambda allocation: self.cache.get(
+                self._namespace, tenant, allocation
+            ),
+            evaluate=lambda missing: self._evaluate_many(tenant_index, missing),
+            put=lambda allocation, value: self.cache.put(
+                self._namespace, tenant, allocation, value
+            ),
+            duplicate_hit=record_duplicate_hit,
+        )

@@ -98,11 +98,17 @@ class CostCallStats:
         evaluations: underlying cost evaluations actually performed (what-if
             optimizer invocations or simulated runs).
         cache_hits / cache_misses: shared-cache traffic during the run.
+        optimizer_calls: distinct (query, engine configuration) plan
+            optimizations the run forced on the problem's engines.
+        plan_cache_hits: what-if questions the engines answered from their
+            per-configuration plan caches instead of re-optimizing.
     """
 
     evaluations: int
     cache_hits: int
     cache_misses: int
+    optimizer_calls: int = 0
+    plan_cache_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -119,6 +125,8 @@ class CostCallStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": self.hit_rate,
+            "optimizer_calls": self.optimizer_calls,
+            "plan_cache_hits": self.plan_cache_hits,
         }
 
 

@@ -6,9 +6,11 @@ questions, and a *refinement* procedure correcting the cost model online.
 The seed code hard-wired concrete classes; this module extracts the
 interfaces as :class:`typing.Protocol`\\ s and provides string-keyed
 registries so :class:`repro.api.Advisor` can accept either instances or
-names (``"greedy"``, ``"exhaustive"``, ``"what-if"``, ``"actual"``,
-``"basic"``, ``"generalized"``), and downstream code can register its own
-strategies without touching the advisor.
+names (``"greedy"``, ``"exhaustive"``, ``"exhaustive-dp"``, ``"what-if"``,
+``"actual"``, ``"basic"``, ``"generalized"``), and downstream code can
+register its own strategies without touching the advisor.  The
+``"exhaustive-dp"`` search finds the same optimum as ``"exhaustive"`` via
+an exact dynamic program; the brute force is kept for cross-checking.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ from ..core.cost_estimator import (
     WhatIfCostEstimator,
 )
 from ..core.enumerator import (
+    DynamicProgrammingSearch,
     EnumerationResult,
     ExhaustiveSearch,
     GreedyConfigurationEnumerator,
@@ -178,6 +181,14 @@ def _make_exhaustive(
     )
 
 
+def _make_exhaustive_dp(
+    delta: float = 0.05,
+    min_share: float = 0.05,
+    **_ignored: Any,
+) -> DynamicProgrammingSearch:
+    return DynamicProgrammingSearch(delta=delta, min_share=min_share)
+
+
 def _make_what_if(problem: VirtualizationDesignProblem, **_ignored: Any) -> CostFunction:
     return WhatIfCostEstimator(problem)
 
@@ -222,6 +233,7 @@ def _make_generalized_refinement(
 
 ENUMERATORS.register("greedy", _make_greedy)
 ENUMERATORS.register("exhaustive", _make_exhaustive)
+ENUMERATORS.register("exhaustive-dp", _make_exhaustive_dp)
 COST_FUNCTIONS.register("what-if", _make_what_if)
 COST_FUNCTIONS.register("actual", _make_actual)
 REFINEMENTS.register("basic", _make_basic_refinement)

@@ -184,6 +184,36 @@ class EngineCalibration(ABC):
         native = self.engine.estimate_statements(statements, configuration)
         return self.renormalizer.to_seconds(native)
 
+    def estimate_workload_seconds_many(
+        self,
+        statements: Iterable[Tuple[QuerySpec, float]],
+        allocations: Iterable[Tuple[float, float]],
+    ) -> List[float]:
+        """Estimated costs of one workload under many allocations.
+
+        ``allocations`` is an iterable of ``(cpu_share, memory_fraction)``
+        pairs.  The statement list is materialized once and the optimizer
+        parameter vector is built once per distinct allocation; plans are
+        optimized once per distinct engine configuration and reused across
+        allocations through the engine's plan cache, so building a whole
+        cost table costs one optimizer call per (statement, configuration)
+        pair instead of one per (statement, grid point).
+        """
+        statements = list(statements)
+        configurations: Dict[Tuple[float, float], EngineConfiguration] = {}
+        results: List[float] = []
+        for cpu_share, memory_fraction in allocations:
+            key = (cpu_share, memory_fraction)
+            configuration = configurations.get(key)
+            if configuration is None:
+                configuration = self.parameters_for_allocation(
+                    cpu_share, memory_fraction
+                )
+                configurations[key] = configuration
+            native = self.engine.estimate_statements(statements, configuration)
+            results.append(self.renormalizer.to_seconds(native))
+        return results
+
     def estimate_query_seconds(
         self, query: QuerySpec, cpu_share: float, memory_fraction: float
     ) -> float:

@@ -19,6 +19,7 @@ from .advisor import Recommendation, VirtualizationDesignAdvisor
 from .cost_estimator import ActualCostFunction, CostFunction, WhatIfCostEstimator
 from .dynamic import DynamicConfigurationManager, PeriodDecision
 from .enumerator import (
+    DynamicProgrammingSearch,
     EnumerationResult,
     ExhaustiveSearch,
     GreedyConfigurationEnumerator,
@@ -41,6 +42,7 @@ __all__ = [
     "ConsolidatedWorkload",
     "CostFunction",
     "DynamicConfigurationManager",
+    "DynamicProgrammingSearch",
     "EnumerationResult",
     "ExhaustiveSearch",
     "GeneralizedOnlineRefinement",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from abc import ABC, abstractmethod
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..dbms.execution import ExecutionModel
 from ..exceptions import EstimationError
@@ -44,6 +44,12 @@ class CostFunction(ABC):
     def _cost(self, tenant_index: int, allocation: ResourceAllocation) -> float:
         """Uncached cost of one tenant under one allocation."""
 
+    def _cost_many(
+        self, tenant_index: int, allocations: Sequence[ResourceAllocation]
+    ) -> List[float]:
+        """Uncached batch evaluation; subclasses override with a fused path."""
+        return [self._cost(tenant_index, allocation) for allocation in allocations]
+
     # ------------------------------------------------------------------
     # Public interface
     # ------------------------------------------------------------------
@@ -59,6 +65,31 @@ class CostFunction(ABC):
                 f"{tenant_index}"
             )
         return value
+
+    def cost_many(
+        self, tenant_index: int, allocations: Sequence[ResourceAllocation]
+    ) -> List[float]:
+        """Costs of one tenant under many allocations, in one batched call.
+
+        Equivalent to ``[cost(tenant_index, a) for a in allocations]`` —
+        including ``call_count`` accounting, which increments once per
+        allocation actually evaluated — but routed through the batch path,
+        so a whole cost table is computed in one pass over the estimation
+        machinery (statements materialized once, optimizer parameters built
+        once per allocation, plans reused per engine configuration).
+        """
+        if not 0 <= tenant_index < self.problem.n_workloads:
+            raise EstimationError(f"tenant index {tenant_index} out of range")
+        allocations = list(allocations)
+        self.call_count += len(allocations)
+        values = self._cost_many(tenant_index, allocations)
+        for value in values:
+            if value < 0:
+                raise EstimationError(
+                    f"cost function returned a negative cost ({value}) for tenant "
+                    f"{tenant_index}"
+                )
+        return values
 
     def weighted_cost(self, tenant_index: int, allocation: ResourceAllocation) -> float:
         """Gain-weighted cost ``G_i * Cost(W_i, R_i)``."""
@@ -90,6 +121,55 @@ class CostFunction(ABC):
         return self.cost(tenant_index, allocation) / base
 
 
+def resolve_batch_through_cache(
+    allocations,
+    key_of,
+    get_cached,
+    evaluate,
+    put,
+    duplicate_hit=None,
+):
+    """Resolve a batch of allocations through a cache, deduplicating misses.
+
+    The shared algorithm behind every ``cost_many`` cache layer: values are
+    returned aligned with ``allocations``; each distinct missing key is
+    evaluated exactly once via ``evaluate(missing_allocations)`` and stored
+    with ``put``, matching what the equivalent sequence of single lookups
+    would evaluate.  ``duplicate_hit`` (if given) is called once per
+    repeated not-yet-cached key — the sequential equivalent would find the
+    first occurrence's value already cached, i.e. record a hit.
+    """
+    allocations = list(allocations)
+    results: List[Optional[float]] = [None] * len(allocations)
+    miss_slots: Dict[object, int] = {}
+    miss_allocations: List[ResourceAllocation] = []
+    miss_positions: List[List[int]] = []
+    for position, allocation in enumerate(allocations):
+        key = key_of(allocation)
+        slot = miss_slots.get(key)
+        if slot is not None:
+            if duplicate_hit is not None:
+                duplicate_hit()
+            miss_positions[slot].append(position)
+            continue
+        cached = get_cached(allocation)
+        if cached is not None:
+            results[position] = cached
+            continue
+        miss_slots[key] = len(miss_allocations)
+        miss_allocations.append(allocation)
+        miss_positions.append([position])
+    if miss_allocations:
+        values = evaluate(miss_allocations)
+        for allocation, value, positions in zip(
+            miss_allocations, values, miss_positions
+        ):
+            put(allocation, value)
+            for position in positions:
+                results[position] = value
+    return results
+
+
 class _CachingCostFunction(CostFunction):
     """Base class adding an allocation-level cache."""
 
@@ -113,6 +193,25 @@ class _CachingCostFunction(CostFunction):
         self._cache[key] = value
         return value
 
+    def cost_many(
+        self, tenant_index: int, allocations: Sequence[ResourceAllocation]
+    ) -> List[float]:
+        # Deduplicate misses within the batch so each distinct allocation is
+        # evaluated (and counted) exactly once, as repeated cost() calls would.
+        return resolve_batch_through_cache(
+            allocations,
+            key_of=lambda allocation: self._key(tenant_index, allocation),
+            get_cached=lambda allocation: self._cache.get(
+                self._key(tenant_index, allocation)
+            ),
+            evaluate=lambda missing: super(_CachingCostFunction, self).cost_many(
+                tenant_index, missing
+            ),
+            put=lambda allocation, value: self._cache.__setitem__(
+                self._key(tenant_index, allocation), value
+            ),
+        )
+
     def clear_cache(self) -> None:
         """Drop all cached costs."""
         self._cache.clear()
@@ -127,6 +226,15 @@ class WhatIfCostEstimator(_CachingCostFunction):
             tenant.workload.statement_pairs(),
             cpu_share=allocation.cpu_share,
             memory_fraction=allocation.memory_fraction,
+        )
+
+    def _cost_many(
+        self, tenant_index: int, allocations: Sequence[ResourceAllocation]
+    ) -> List[float]:
+        tenant = self.problem.tenant(tenant_index)
+        return tenant.calibration.estimate_workload_seconds_many(
+            tenant.workload.statement_pairs(),
+            [(a.cpu_share, a.memory_fraction) for a in allocations],
         )
 
 
@@ -227,3 +335,13 @@ class ActualCostFunction(_CachingCostFunction):
         executor = ExecutionModel(engine)
         env = self.environment(allocation)
         return executor.execute_statements(tenant.workload.statement_pairs(), env)
+
+    def _cost_many(
+        self, tenant_index: int, allocations: Sequence[ResourceAllocation]
+    ) -> List[float]:
+        tenant = self.problem.tenant(tenant_index)
+        executor = ExecutionModel(tenant.calibration.engine)
+        return executor.execute_statements_many(
+            tenant.workload.statement_pairs(),
+            [self.environment(allocation) for allocation in allocations],
+        )

@@ -20,7 +20,7 @@ reproduction's benchmarks and tests stable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from ..exceptions import ExecutionError
 from ..units import MB
@@ -177,3 +177,36 @@ class ExecutionModel:
                 continue
             total += self.execute_query(query, env) * frequency
         return total
+
+    def execute_statements_many(
+        self,
+        statements: Iterable[Tuple[QuerySpec, float]],
+        envs: Sequence[VMEnvironment],
+    ) -> List[float]:
+        """Total elapsed seconds of one workload in each of many environments.
+
+        Batch counterpart of :meth:`execute_statements`: the statement list
+        is validated and materialized once and the engine's true
+        configuration is derived once per environment instead of once per
+        statement; plan choice still goes through the engine's per-
+        configuration plan cache.
+        """
+        statements = [
+            (query, frequency)
+            for query, frequency in statements
+            if frequency != 0
+        ]
+        for query, frequency in statements:
+            if frequency < 0:
+                raise ExecutionError(
+                    f"statement frequency must not be negative (query {query.name!r})"
+                )
+        totals: List[float] = []
+        for env in envs:
+            configuration = self.engine.true_configuration(env)
+            total = 0.0
+            for query, frequency in statements:
+                plan = self.engine.optimize(query, configuration)
+                total += self.execute_plan(plan, env).total_seconds * frequency
+            totals.append(total)
+        return totals

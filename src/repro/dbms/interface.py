@@ -90,6 +90,7 @@ class DatabaseEngine(ABC):
         self.memory_policy = memory_policy
         self.planner = Planner(database)
         self._plan_cache: Dict[Tuple[str, EngineConfiguration], Tuple[QueryPlan, float]] = {}
+        self._plan_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Abstract engine-specific pieces
@@ -149,6 +150,7 @@ class DatabaseEngine(ABC):
         key = (query.name, configuration)
         cached = self._plan_cache.get(key)
         if cached is not None:
+            self._plan_cache_hits += 1
             return cached
         cost_model = self.make_cost_model(configuration)
         context = self.build_context(query, configuration)
@@ -176,6 +178,10 @@ class DatabaseEngine(ABC):
     def optimizer_call_count(self) -> int:
         """Number of distinct (query, configuration) optimizer calls so far."""
         return len(self._plan_cache)
+
+    def plan_cache_hit_count(self) -> int:
+        """What-if calls answered from the plan cache (monotonic counter)."""
+        return self._plan_cache_hits
 
     def clear_plan_cache(self) -> None:
         """Drop all cached plans and costs."""

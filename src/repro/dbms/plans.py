@@ -31,7 +31,7 @@ from .catalog import Database, Index, Table
 from .query import AggregateSpec, QuerySpec, TableAccess, UpdateProfile
 
 
-@dataclass
+@dataclass(frozen=True)
 class ResourceUsage:
     """Logical resource usage of (part of) a query plan.
 
@@ -39,6 +39,10 @@ class ResourceUsage:
     of time or cost.  ``working_set_pages`` approximates the number of
     distinct pages touched, which the cache models use to decide how many of
     the requested page reads actually reach the disk.
+
+    Frozen so aggregated usage records can be memoized and shared across
+    cost evaluations (plans are cached per engine configuration) without
+    any risk of in-place corruption.
     """
 
     tuples: float = 0.0
@@ -67,11 +71,9 @@ class ResourceUsage:
         """
         if factor < 0:
             raise ConfigurationError("scale factor must not be negative")
-        scaled = ResourceUsage(
-            **{f.name: getattr(self, f.name) * factor for f in fields(self)}
-        )
-        scaled.working_set_pages = self.working_set_pages
-        return scaled
+        values = {f.name: getattr(self, f.name) * factor for f in fields(self)}
+        values["working_set_pages"] = self.working_set_pages
+        return ResourceUsage(**values)
 
     def copy(self) -> "ResourceUsage":
         """Return an independent copy of this usage record."""
@@ -156,6 +158,7 @@ class PlanNode:
         self.width_bytes = float(width_bytes)
         self.usage = usage
         self.children: Tuple[PlanNode, ...] = tuple(children)
+        self._total_usage: Optional[ResourceUsage] = None
 
     @property
     def output_bytes(self) -> float:
@@ -163,10 +166,20 @@ class PlanNode:
         return self.rows * self.width_bytes
 
     def total_usage(self) -> ResourceUsage:
-        """Aggregate resource usage of this node and its entire subtree."""
-        total = self.usage.copy()
-        for child in self.children:
-            total = total + child.total_usage()
+        """Aggregate resource usage of this node and its entire subtree.
+
+        A subtree is immutable once constructed, so the aggregate is
+        memoized: evaluating one plan under many environments (the batch
+        cost path walks whole grids of allocations) aggregates each subtree
+        once instead of re-walking the tree per evaluation.  Sharing the
+        memoized record is safe because :class:`ResourceUsage` is frozen.
+        """
+        total = self._total_usage
+        if total is None:
+            total = self.usage
+            for child in self.children:
+                total = total + child.total_usage()
+            self._total_usage = total
         return total
 
     def walk(self) -> List["PlanNode"]:
