@@ -1,0 +1,63 @@
+"""Fleet consolidation benchmark — beyond the paper's single machine.
+
+Twelve mixed PostgreSQL / DB2 tenants are placed across four machines by
+every registered placement strategy; each machine's internal split is
+produced by the per-machine advisor.  The benchmark asserts the cost
+ordering the fleet engine promises (greedy-cost never loses to the
+baselines), that no placement exceeds machine capacities, and that the
+shared cost cache answers a repeated fleet recommendation without any new
+cost-estimator evaluations.  Wired into the CI benchmark-smoke job with a
+wall-clock ceiling: a regression past it means the placement probes
+stopped flowing through the batched, cached cost tables.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fleet import fleet_consolidation_experiment
+from repro.experiments.reporting import format_table
+
+N_TENANTS = 12
+N_MACHINES = 4
+
+
+def test_fleet_consolidation_12_tenants_4_machines(benchmark):
+    result = run_once(
+        benchmark,
+        fleet_consolidation_experiment,
+        n_tenants=N_TENANTS,
+        n_machines=N_MACHINES,
+    )
+
+    print("\nFleet consolidation — 12 tenants placed across 4 machines")
+    rows = []
+    for strategy, weighted in result.ranking():
+        report = result.reports[strategy]
+        rows.append([
+            strategy,
+            weighted,
+            report.machines_used,
+            report.cost_stats.evaluations,
+        ])
+    print(format_table(
+        ["strategy", "weighted cost", "machines used", "evaluations"], rows
+    ))
+
+    greedy = result.reports["greedy-cost"]
+    # Placement respects every machine's capacity (and really placed all).
+    assert len(greedy.placement) == N_TENANTS
+    for strategy, report in result.reports.items():
+        problem = result.problem
+        names = problem.machine_names()
+        assignment = [
+            names.index(report.placement[tenant.name]) for tenant in problem.tenants
+        ]
+        problem.validate_placement(assignment)
+    # The fleet objective ordering the greedy-cost strategy promises.
+    assert greedy.total_weighted_cost <= result.weighted_cost("round-robin") + 1e-9
+    assert greedy.total_weighted_cost <= result.weighted_cost("first-fit") + 1e-9
+    # Per-machine splits are genuine advisor recommendations.
+    for machine in greedy.machines:
+        if not machine.is_idle:
+            assert abs(sum(t.cpu_share for t in machine.report.tenants) - 1.0) < 1e-6
+    # A repeated recommendation is answered entirely from the shared cache.
+    assert result.repeat_evaluations == 0

@@ -14,7 +14,11 @@ The package provides:
 * the unified advisor API — fluent :class:`~repro.api.ProblemBuilder`,
   declarative :class:`~repro.api.Scenario` specs, the pluggable
   :class:`~repro.api.Advisor` service, and serializable
-  :class:`~repro.api.RecommendationReport`\\ s (:mod:`repro.api`), and
+  :class:`~repro.api.RecommendationReport`\\ s (:mod:`repro.api`),
+* the fleet placement engine — :class:`~repro.fleet.FleetAdvisor` decides
+  which machine each tenant lands on (``"greedy-cost"``, ``"round-robin"``,
+  ``"first-fit"``) before the per-machine advisor divides its resources
+  (:mod:`repro.fleet`), and
 * the experiment harness reproducing every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
@@ -67,6 +71,13 @@ from .core import (
 from .core.cost_estimator import ActualCostFunction
 from .dbms.db2 import DB2Engine
 from .dbms.postgres import PostgreSQLEngine
+from .fleet import (
+    FleetAdvisor,
+    FleetProblem,
+    FleetReport,
+    FleetTenant,
+    Machine,
+)
 from .virt import Hypervisor, PhysicalMachine
 from .workloads import Workload, tpcc_database, tpcc_transactions, tpch_database, tpch_queries
 
@@ -78,7 +89,12 @@ __all__ = [
     "CalibrationSettings",
     "ConsolidatedWorkload",
     "DB2Engine",
+    "FleetAdvisor",
+    "FleetProblem",
+    "FleetReport",
+    "FleetTenant",
     "Hypervisor",
+    "Machine",
     "PhysicalMachine",
     "PostgreSQLEngine",
     "ProblemBuilder",

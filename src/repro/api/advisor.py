@@ -18,6 +18,12 @@ runs over re-built problems) never pay for the same optimizer call twice.
     Advisor(enumerator="exhaustive")         # optimal-baseline search
     Advisor(cost_function="actual")          # ground-truth measurement
     Advisor(refinement="generalized")        # force a refinement procedure
+
+The service is also the per-machine engine of the fleet layer:
+:class:`repro.fleet.FleetAdvisor` prices candidate tenant placements and
+produces every machine's final split by calling :meth:`Advisor.recommend`
+on per-machine problems, so fleet probes ride the same shared cache (a
+repeated fleet recommendation evaluates nothing new).
 """
 
 from __future__ import annotations

@@ -20,7 +20,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from ..core.advisor import Recommendation
 from ..core.problem import ResourceAllocation
@@ -31,6 +31,11 @@ def _json_safe(value: float) -> Optional[float]:
     if value is None or math.isinf(value) or math.isnan(value):
         return None
     return value
+
+
+def _from_json_safe(value: Optional[float]) -> float:
+    """Inverse of :func:`_json_safe`: ``None`` reads back as infinity."""
+    return math.inf if value is None else value
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,19 @@ class TenantReport:
             "meets_degradation_limit": self.meets_degradation_limit,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TenantReport":
+        """Rebuild a tenant report from its dictionary form."""
+        return cls(
+            name=data["name"],
+            cpu_share=data["cpu_share"],
+            memory_fraction=data["memory_fraction"],
+            estimated_cost=data["estimated_cost"],
+            degradation=data["degradation"],
+            degradation_limit=_from_json_safe(data.get("degradation_limit")),
+            gain_factor=data["gain_factor"],
+        )
+
 
 @dataclass(frozen=True)
 class StrategyProvenance:
@@ -88,6 +106,16 @@ class StrategyProvenance:
             "refinement": self.refinement,
             "options": dict(self.options),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StrategyProvenance":
+        """Rebuild strategy provenance from its dictionary form."""
+        return cls(
+            enumerator=data["enumerator"],
+            cost_function=data["cost_function"],
+            refinement=data.get("refinement"),
+            options=dict(data.get("options", {})),
+        )
 
 
 @dataclass(frozen=True)
@@ -128,6 +156,29 @@ class CostCallStats:
             "optimizer_calls": self.optimizer_calls,
             "plan_cache_hits": self.plan_cache_hits,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CostCallStats":
+        """Rebuild cost-call statistics from their dictionary form."""
+        return cls(
+            evaluations=data["evaluations"],
+            cache_hits=data["cache_hits"],
+            cache_misses=data["cache_misses"],
+            optimizer_calls=data.get("optimizer_calls", 0),
+            plan_cache_hits=data.get("plan_cache_hits", 0),
+        )
+
+    def __add__(self, other: "CostCallStats") -> "CostCallStats":
+        """Aggregate the statistics of two runs (used by the fleet advisor)."""
+        if not isinstance(other, CostCallStats):
+            return NotImplemented
+        return CostCallStats(
+            evaluations=self.evaluations + other.evaluations,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            optimizer_calls=self.optimizer_calls + other.optimizer_calls,
+            plan_cache_hits=self.plan_cache_hits + other.plan_cache_hits,
+        )
 
 
 @dataclass(frozen=True)
@@ -215,3 +266,42 @@ class RecommendationReport:
     def to_json(self, indent: Optional[int] = None) -> str:
         """The report as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RecommendationReport":
+        """Rebuild a report from its dictionary form (inverse of to_dict).
+
+        The reconstructed report is value-equal to the original: the
+        recommendation numbers, per-tenant breakdowns, provenance, and
+        statistics all round-trip, so reports can be shipped as JSON and
+        consumed as first-class objects on the other side.
+        """
+        recommendation = data["recommendation"]
+        return cls(
+            recommendation=Recommendation(
+                allocations=tuple(
+                    ResourceAllocation(
+                        cpu_share=entry["cpu_share"],
+                        memory_fraction=entry["memory_fraction"],
+                    )
+                    for entry in recommendation["allocations"]
+                ),
+                per_workload_costs=tuple(recommendation["per_workload_costs"]),
+                total_cost=recommendation["total_cost"],
+                default_cost=recommendation["default_cost"],
+                estimated_improvement=recommendation["estimated_improvement"],
+                iterations=recommendation["iterations"],
+                cost_calls=recommendation["cost_calls"],
+            ),
+            tenants=tuple(
+                TenantReport.from_dict(tenant) for tenant in data["tenants"]
+            ),
+            provenance=StrategyProvenance.from_dict(data["provenance"]),
+            cost_stats=CostCallStats.from_dict(data["cost_stats"]),
+            wall_time_seconds=data["wall_time_seconds"],
+        )
+
+    @classmethod
+    def from_json(cls, document: Union[str, bytes]) -> "RecommendationReport":
+        """Rebuild a report from a JSON document (inverse of to_json)."""
+        return cls.from_dict(json.loads(document))

@@ -26,7 +26,11 @@ search stays within a few percent of optimal:
 Both searches precompute per-tenant cost tables as dense arrays indexed by
 grid level (one batched :meth:`~repro.core.cost_estimator.CostFunction.cost_many`
 call per tenant), so the cost of a search is one table build plus cheap
-arithmetic — not one cost-function walk per grid point.
+arithmetic — not one cost-function walk per grid point.  When the cost
+function is a :class:`~repro.api.cache.CachedCostFunction`, those tables
+are also shared *across* searches: the fleet layer's ``greedy-cost``
+placement re-solves the same machine with varying tenant sets, and each
+re-solve prices only the allocations no earlier probe asked about.
 """
 
 from __future__ import annotations
@@ -90,13 +94,34 @@ def _evaluate_costs(
 # Shared grid helpers (exhaustive and DP search)
 # ----------------------------------------------------------------------
 def _grid_bounds(delta: float, min_share: float, n_workloads: int) -> Tuple[int, int, int]:
-    """``(units, min_units, max_units)`` of the per-tenant level grid."""
+    """``(units, min_units, max_units)`` of the per-tenant level grid.
+
+    ``min_units`` rounds the minimum share *up* to the grid (never below
+    one unit for a positive ``min_share``): a level-0 tenant would hold a
+    zero share, which can never execute work — with ``min_share=0.05`` on
+    a ``delta=0.1`` grid the effective minimum is one 0.1-unit, not zero.
+    """
     units = round(1.0 / delta)
-    min_units = max(0, round(min_share / delta))
+    if min_share > 0.0:
+        min_units = max(1, math.ceil(min_share / delta - _EPSILON))
+    else:
+        min_units = 0
     if min_units * n_workloads > units:
         raise OptimizationError("min_share is too large for the number of workloads")
     max_units = units - min_units * (n_workloads - 1)
     return units, min_units, max_units
+
+
+def effective_min_share(delta: float, min_share: float) -> float:
+    """The smallest share a grid search can actually assign one tenant.
+
+    The grid quantizes ``min_share`` upward (see :func:`_grid_bounds`), so
+    the effective minimum — which bounds how many tenants can share one
+    machine — may exceed the nominal ``min_share``.  The fleet layer uses
+    this to avoid over-packing a machine its enumerator cannot divide.
+    """
+    units, min_units, _ = _grid_bounds(delta, min_share, 1)
+    return min_units / units if min_units else 0.0
 
 
 def _unit_compositions(units: int, min_units: int, n_workloads: int) -> List[Tuple[int, ...]]:
@@ -483,6 +508,11 @@ class ExhaustiveSearch:
         self.max_combinations = max_combinations
         self.enforce_degradation_limits = enforce_degradation_limits
 
+    @property
+    def effective_min_share(self) -> float:
+        """Smallest per-tenant share on this grid (``min_share`` rounded up)."""
+        return effective_min_share(self.delta, self.min_share)
+
     # ------------------------------------------------------------------
     # Grid enumeration helpers
     # ------------------------------------------------------------------
@@ -613,6 +643,11 @@ class DynamicProgrammingSearch:
         self.delta = delta
         self.min_share = min_share
         self.enforce_degradation_limits = enforce_degradation_limits
+
+    @property
+    def effective_min_share(self) -> float:
+        """Smallest per-tenant share on this grid (``min_share`` rounded up)."""
+        return effective_min_share(self.delta, self.min_share)
 
     def search(
         self,

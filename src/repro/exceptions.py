@@ -44,5 +44,9 @@ class MonitoringError(ReproError):
     """Run-time monitoring was given inconsistent observations."""
 
 
+class PlacementError(ReproError):
+    """No feasible tenant-to-machine placement exists (or one was violated)."""
+
+
 class WorkloadError(ReproError):
     """A workload description is malformed."""

@@ -12,6 +12,8 @@ Each module corresponds to a group of figures:
 * :mod:`repro.experiments.refinement` — Figures 28–34 (online refinement).
 * :mod:`repro.experiments.dynamic` — Figures 35–36 (dynamic configuration
   management).
+* :mod:`repro.experiments.fleet` — beyond the paper: fleet-scale placement
+  strategies compared on a tenants × machines consolidation.
 
 The :mod:`repro.experiments.harness` module provides the shared context
 (physical machine, calibrated engines, workload templates) and
@@ -19,7 +21,14 @@ The :mod:`repro.experiments.harness` module provides the shared context
 benchmark suite prints and ``EXPERIMENTS.md`` records.
 """
 
+from .fleet import build_fleet_problem, fleet_consolidation_experiment
 from .harness import ExperimentContext
 from .reporting import format_table, series_to_rows
 
-__all__ = ["ExperimentContext", "format_table", "series_to_rows"]
+__all__ = [
+    "ExperimentContext",
+    "build_fleet_problem",
+    "fleet_consolidation_experiment",
+    "format_table",
+    "series_to_rows",
+]

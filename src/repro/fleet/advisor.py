@@ -1,0 +1,381 @@
+"""The fleet advisor: placement on top of the per-machine advisor.
+
+:class:`FleetAdvisor` answers the fleet-scale consolidation question —
+*which machine should each tenant live on, and how should every machine
+then be divided?* — by composing two existing pieces:
+
+* a pluggable placement strategy (:mod:`repro.fleet.strategies`) chooses
+  the tenant → machine assignment, and
+* the unchanged :class:`repro.api.Advisor` divides each machine's CPU and
+  memory among the tenants placed there (the paper's per-machine problem).
+
+The advisor keeps one calibrated :class:`~repro.api.ProblemBuilder` per
+*distinct hardware shape* (two fleet machines with equal capacity share one
+calibration, exactly as one physical testbed serves many identical racks),
+memoizes the per-machine design problems it materializes, and runs every
+per-machine solve through the inner advisor's shared
+:class:`~repro.api.cache.CostCache`.  Consequences:
+
+* the ``"greedy-cost"`` strategy's placement probes price each candidate
+  co-location from the same batched cost tables the final solve uses, and
+* a repeated :meth:`FleetAdvisor.recommend` over an unchanged problem
+  performs **zero** new cost-estimator evaluations — the whole fleet
+  answer comes out of the cache.
+
+    from repro.fleet import FleetAdvisor, FleetProblem
+
+    fleet = FleetProblem.from_json(document)
+    report = FleetAdvisor().recommend(fleet)      # -> FleetReport
+    report.to_json()
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..api.advisor import Advisor
+from ..api.builder import ProblemBuilder
+from ..api.report import CostCallStats, RecommendationReport
+from ..calibration import CalibrationSettings
+from ..core.problem import (
+    ConsolidatedWorkload,
+    UNLIMITED_DEGRADATION,
+    VirtualizationDesignProblem,
+)
+from ..exceptions import ConfigurationError, OptimizationError
+from ..workloads.workload import Workload, WorkloadStatement
+from .problem import FleetProblem, Machine, Placement
+from .report import FleetReport, MachineReport
+from .strategies import PLACEMENTS, PlacementStrategy
+
+#: Hardware shape plus calibration overrides: the unit of calibration reuse.
+_BuilderKey = Tuple[Tuple[float, float, int], Tuple[Tuple[str, Any], ...]]
+
+PlacementSpec = Union[str, PlacementStrategy]
+
+#: Bounds on the fleet advisor's memoized objects.  Eviction never affects
+#: correctness — a re-materialized workload merely re-prices allocations the
+#: shared cost cache no longer recognizes — and the bounds comfortably cover
+#: a greedy-cost run (~tenants × machines problems per fleet).
+_TENANT_MEMO_SIZE = 4096
+_PROBLEM_MEMO_SIZE = 1024
+
+
+def _placement_name(spec: PlacementSpec) -> str:
+    """Human-readable provenance name for a placement spec."""
+    if isinstance(spec, str):
+        return spec
+    return getattr(spec, "name", type(spec).__name__)
+
+
+class _FleetSolver:
+    """Prices candidate co-locations for one fleet problem.
+
+    This is the :class:`~repro.fleet.strategies.PlacementSolver` handed to
+    placement strategies.  It materializes per-machine design problems
+    (memoized by machine hardware and tenant set, so value-equal requests
+    return the *same* problem object and hit the inner advisor's caches),
+    solves them with the shared :class:`~repro.api.Advisor`, and keeps the
+    aggregated cost-call statistics of everything the run asked for.
+    """
+
+    def __init__(self, fleet_advisor: "FleetAdvisor", problem: FleetProblem) -> None:
+        self.fleet_advisor = fleet_advisor
+        self.problem = problem
+        self.stats = CostCallStats(evaluations=0, cache_hits=0, cache_misses=0)
+        # The bound must come from the enumerator that will actually divide
+        # the machine: an instance-supplied enumerator may use a coarser
+        # min_share than the advisor-level knob, and grid searches quantize
+        # the minimum share upward (``effective_min_share``), capping a
+        # machine below the nominal ``1 / min_share``.
+        advisor = fleet_advisor.advisor
+        enumerator = advisor.enumerator
+        min_share = getattr(
+            enumerator,
+            "effective_min_share",
+            getattr(enumerator, "min_share", getattr(advisor, "min_share", 0.05)),
+        )
+        #: A machine cannot host more tenants than fit the enumerator's
+        #: minimum share (every VM must receive at least ``min_share``).
+        self.max_tenants: Optional[int] = (
+            int(math.floor(1.0 / min_share + 1e-9)) if min_share > 0 else None
+        )
+
+    # ------------------------------------------------------------------
+    # PlacementSolver surface
+    # ------------------------------------------------------------------
+    def fits(self, machine_index: int, tenant_indices: Tuple[int, ...]) -> bool:
+        """Capacity check, including the minimum-share tenant bound."""
+        return self.problem.fits(machine_index, tenant_indices, self.max_tenants)
+
+    def machine_cost(
+        self, machine_index: int, tenant_indices: Tuple[int, ...]
+    ) -> float:
+        """Gain-weighted cost of a machine hosting ``tenant_indices``.
+
+        A co-location no allocation can make feasible (e.g. the combined
+        degradation limits are unsatisfiable on this machine) prices as
+        ``+inf`` so cost-aware strategies simply avoid it; only a machine
+        the placement actually commits to may raise.
+        """
+        try:
+            report, weighted = self.solve(machine_index, tenant_indices)
+        except OptimizationError:
+            return math.inf
+        return weighted
+
+    # ------------------------------------------------------------------
+    # Per-machine solves
+    # ------------------------------------------------------------------
+    def solve(
+        self, machine_index: int, tenant_indices: Tuple[int, ...]
+    ) -> Tuple[RecommendationReport, float]:
+        """Divide one machine among a tenant set with the inner advisor.
+
+        Returns the per-machine report and its gain-weighted total cost.
+        The cost-call statistics of the solve are folded into
+        :attr:`stats`.
+        """
+        ordered = tuple(sorted(tenant_indices))
+        machine = self.problem.machines[machine_index]
+        design = self.fleet_advisor._design_problem(self.problem, machine, ordered)
+        report = self.fleet_advisor.advisor.recommend(design)
+        self.stats = self.stats + report.cost_stats
+        weighted = sum(
+            tenant.gain_factor * cost
+            for tenant, cost in zip(design.tenants, report.per_workload_costs)
+        )
+        return report, weighted
+
+
+class FleetAdvisor:
+    """Places tenants across a fleet and configures every machine's VMs.
+
+    Args:
+        placement: a :class:`~repro.fleet.strategies.PlacementStrategy`
+            instance or a name registered in
+            :data:`~repro.fleet.strategies.PLACEMENTS` (``"greedy-cost"``,
+            ``"round-robin"``, ``"first-fit"``).
+        advisor: the per-machine :class:`~repro.api.Advisor` to delegate
+            division to; built from ``advisor_options`` when omitted
+            (e.g. ``FleetAdvisor(enumerator="exhaustive-dp", delta=0.1)``).
+        advisor_options: keyword arguments for the inner advisor when one
+            is not supplied.
+    """
+
+    def __init__(
+        self,
+        placement: PlacementSpec = "greedy-cost",
+        advisor: Optional[Advisor] = None,
+        **advisor_options: Any,
+    ) -> None:
+        if advisor is not None and advisor_options:
+            raise ConfigurationError(
+                "pass either an Advisor instance or advisor keyword "
+                "arguments, not both"
+            )
+        self.advisor = advisor if advisor is not None else Advisor(**advisor_options)
+        self.placement = placement  # property: resolves names, tracks provenance
+        #: One calibrated builder per distinct hardware shape (+ overrides).
+        self._builders: Dict[_BuilderKey, ProblemBuilder] = {}
+        #: Memoized consolidated workloads and design problems, keyed by
+        #: value (hardware, tenant spec, resources) so re-materializing the
+        #: same machine/tenant set returns identical objects and the inner
+        #: advisor's shared cost cache keeps answering for them.  Both are
+        #: LRU-bounded so a long-lived advisor serving many distinct fleets
+        #: cannot grow without limit (mirroring the inner advisor's bounds).
+        self._tenant_memo: "OrderedDict[Any, ConsolidatedWorkload]" = OrderedDict()
+        self._problem_memo: "OrderedDict[Any, VirtualizationDesignProblem]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------
+    # Strategy resolution
+    # ------------------------------------------------------------------
+    @property
+    def placement(self) -> PlacementStrategy:
+        """The resolved placement strategy (assignable by instance or name)."""
+        return self._placement
+
+    @placement.setter
+    def placement(self, spec: PlacementSpec) -> None:
+        self._placement_name = _placement_name(spec)
+        self._placement = self._resolve_placement(spec)
+
+    def _resolve_placement(self, spec: PlacementSpec) -> PlacementStrategy:
+        if isinstance(spec, str):
+            return PLACEMENTS.create(spec)
+        if not callable(getattr(spec, "place", None)):
+            raise ConfigurationError(
+                f"placement must be a registered name or provide a "
+                f"place(problem, solver) method; got {type(spec).__name__}"
+            )
+        return spec
+
+    # ------------------------------------------------------------------
+    # Calibrated infrastructure (shared across fleet problems)
+    # ------------------------------------------------------------------
+    def _builder_key(
+        self, machine: Machine, problem: FleetProblem
+    ) -> _BuilderKey:
+        calibration = tuple(sorted((problem.calibration or {}).items()))
+        return (machine.hardware_key, calibration)
+
+    def _builder_for(self, machine: Machine, problem: FleetProblem) -> ProblemBuilder:
+        """The calibrated builder for one hardware shape.
+
+        Machines with equal capacity share one builder — and therefore one
+        set of engine calibrations and one family of cost-cache keys — no
+        matter how many of them the fleet contains.
+        """
+        key = self._builder_key(machine, problem)
+        builder = self._builders.get(key)
+        if builder is None:
+            physical = machine.physical()
+            settings = (
+                CalibrationSettings(**problem.calibration)
+                if problem.calibration
+                else None
+            )
+            builder = ProblemBuilder(machine=physical, calibration_settings=settings)
+            self._builders[key] = builder
+        return builder
+
+    def _consolidated(
+        self, problem: FleetProblem, machine: Machine, tenant_index: int
+    ) -> ConsolidatedWorkload:
+        """The (memoized) consolidated workload of one tenant on one hardware."""
+        tenant = problem.tenants[tenant_index]
+        key = (self._builder_key(machine, problem), tenant.spec)
+        memoized = self._tenant_memo.get(key)
+        if memoized is not None:
+            self._tenant_memo.move_to_end(key)
+            return memoized
+        builder = self._builder_for(machine, problem)
+        spec = tenant.spec
+        templates = builder.queries(spec.engine, spec.benchmark, spec.scale)
+        statements: List[WorkloadStatement] = []
+        for query_name, frequency in spec.statements:
+            if query_name not in templates:
+                raise ConfigurationError(
+                    f"tenant {spec.name!r} references unknown query "
+                    f"{query_name!r}; available: {', '.join(sorted(templates))}"
+                )
+            statements.append(
+                WorkloadStatement(query=templates[query_name], frequency=frequency)
+            )
+        consolidated = ConsolidatedWorkload(
+            workload=Workload(name=spec.name, statements=tuple(statements)),
+            calibration=builder.calibration(spec.engine, spec.benchmark, spec.scale),
+            degradation_limit=(
+                UNLIMITED_DEGRADATION
+                if spec.degradation_limit is None
+                else spec.degradation_limit
+            ),
+            gain_factor=spec.gain_factor,
+        )
+        self._tenant_memo[key] = consolidated
+        while len(self._tenant_memo) > _TENANT_MEMO_SIZE:
+            self._tenant_memo.popitem(last=False)
+        return consolidated
+
+    def _design_problem(
+        self,
+        problem: FleetProblem,
+        machine: Machine,
+        tenant_indices: Tuple[int, ...],
+    ) -> VirtualizationDesignProblem:
+        """The (memoized) per-machine design problem for a tenant set."""
+        specs = tuple(problem.tenants[index].spec for index in tenant_indices)
+        key = (
+            self._builder_key(machine, problem),
+            specs,
+            problem.resources,
+            problem.fixed_memory_fraction,
+        )
+        memoized = self._problem_memo.get(key)
+        if memoized is not None:
+            self._problem_memo.move_to_end(key)
+            return memoized
+        tenants = tuple(
+            self._consolidated(problem, machine, index) for index in tenant_indices
+        )
+        design = VirtualizationDesignProblem(
+            tenants=tenants,
+            resources=problem.resources,
+            fixed_memory_fraction=problem.fixed_memory_fraction,
+        )
+        self._problem_memo[key] = design
+        while len(self._problem_memo) > _PROBLEM_MEMO_SIZE:
+            self._problem_memo.popitem(last=False)
+        return design
+
+    def clear_caches(self) -> None:
+        """Drop the calibrated builders, memoized problems, and cost caches."""
+        self._builders.clear()
+        self._tenant_memo.clear()
+        self._problem_memo.clear()
+        self.advisor.clear_caches()
+
+    # ------------------------------------------------------------------
+    # Fleet recommendation
+    # ------------------------------------------------------------------
+    def recommend(
+        self,
+        problem: FleetProblem,
+        placement: Optional[PlacementSpec] = None,
+    ) -> FleetReport:
+        """Place every tenant and configure every machine of the fleet.
+
+        ``placement`` overrides the advisor-level strategy for this call
+        only (e.g. ``recommend(problem, placement="round-robin")`` for a
+        baseline comparison over the same calibrations and caches).
+        """
+        started = time.perf_counter()
+        solver = _FleetSolver(self, problem)
+        if placement is None:
+            strategy, strategy_name = self._placement, self._placement_name
+        else:
+            strategy = self._resolve_placement(placement)
+            strategy_name = _placement_name(placement)
+        assignment = strategy.place(problem, solver)
+        placed = Placement(problem, assignment, strategy=strategy_name)
+
+        machine_reports: List[MachineReport] = []
+        total_cost = 0.0
+        total_weighted = 0.0
+        for machine_index, machine in enumerate(problem.machines):
+            tenant_indices = placed.tenants_on(machine_index)
+            if not tenant_indices:
+                machine_reports.append(
+                    MachineReport(
+                        machine=machine, tenants=(), report=None, weighted_cost=0.0
+                    )
+                )
+                continue
+            report, weighted = solver.solve(machine_index, tenant_indices)
+            names = tuple(problem.tenants[index].name for index in tenant_indices)
+            machine_reports.append(
+                MachineReport(
+                    machine=machine,
+                    tenants=names,
+                    report=report,
+                    weighted_cost=weighted,
+                )
+            )
+            total_cost += report.total_cost
+            total_weighted += weighted
+
+        return FleetReport(
+            fleet_name=problem.name,
+            strategy=strategy_name,
+            placement=placed.as_mapping(),
+            machines=tuple(machine_reports),
+            total_cost=total_cost,
+            total_weighted_cost=total_weighted,
+            cost_stats=solver.stats,
+            wall_time_seconds=time.perf_counter() - started,
+        )

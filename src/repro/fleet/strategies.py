@@ -1,0 +1,214 @@
+"""Pluggable tenant-placement strategies for the fleet advisor.
+
+Placement decides *which machine* hosts each tenant; the per-machine
+resource split is always delegated to :class:`repro.api.Advisor`.  The
+strategies live behind the same open :class:`~repro.api.strategies.StrategyRegistry`
+pattern as the enumerator / cost-function / refinement registries, so
+downstream code can register its own placement policy and select it by
+name on :class:`~repro.fleet.advisor.FleetAdvisor`:
+
+* ``"round-robin"`` — cycle tenants across machines in order, skipping
+  machines that are out of capacity.  ``O(N·M)``; the fairness baseline
+  the paper-style evaluation compares against.
+* ``"first-fit"`` — classic bin-packing baseline: each tenant goes to the
+  first machine (in machine order) with room.  ``O(N·M)``; packs tightly
+  but ignores cost.
+* ``"greedy-cost"`` — for each tenant, tentatively co-locate it with every
+  machine's current tenants, re-solve that machine's division with the
+  per-machine advisor, and commit to the machine whose *marginal*
+  gain-weighted cost increase is smallest.  ``O(N·M)`` advisor solves —
+  but each solve builds its per-tenant cost tables through the batched
+  :meth:`~repro.core.cost_estimator.CostFunction.cost_many` path against
+  the fleet's shared :class:`~repro.api.cache.CostCache`, so the optimizer
+  work for one (tenant, machine-shape) pair is paid once across all
+  probes, machines of the same hardware, and repeated recommendations.
+
+A strategy only needs ``place(problem, solver)``; the ``solver`` (a
+:class:`PlacementSolver`) answers capacity questions and prices candidate
+co-locations, keeping strategies free of calibration and advisor plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+from ..api.strategies import StrategyRegistry
+from ..exceptions import PlacementError
+from .problem import FleetProblem
+
+
+@runtime_checkable
+class PlacementSolver(Protocol):
+    """What a placement strategy may ask of the fleet advisor.
+
+    Implemented by the fleet advisor's internal solver; exposed as a
+    protocol so placement strategies (including user-registered ones)
+    depend only on this narrow surface.
+    """
+
+    def fits(self, machine_index: int, tenant_indices: Tuple[int, ...]) -> bool:
+        """Whether the machine can host the tenant set (capacity + shares)."""
+        ...
+
+    def machine_cost(
+        self, machine_index: int, tenant_indices: Tuple[int, ...]
+    ) -> float:
+        """Gain-weighted cost of a machine after the advisor divides it."""
+        ...
+
+
+@runtime_checkable
+class PlacementStrategy(Protocol):
+    """Assigns every tenant of a fleet problem to a machine."""
+
+    def place(self, problem: FleetProblem, solver: PlacementSolver) -> Tuple[int, ...]:
+        """Return the machine index chosen for each tenant (tenant order)."""
+        ...
+
+
+#: Registry of placement strategies (``placement=`` on the FleetAdvisor).
+PLACEMENTS = StrategyRegistry("placement")
+
+
+def _unplaceable(
+    problem: FleetProblem, tenant_index: int, qos_blocked: bool = False
+) -> PlacementError:
+    """A uniform error for a tenant no machine can currently host.
+
+    ``qos_blocked`` distinguishes the two failure modes a cost-aware
+    strategy can hit: every machine out of capacity, versus machines with
+    room whose co-locations no allocation can make feasible (degradation
+    limits) — so the error points the operator at the actual blocker.
+    """
+    tenant = problem.tenants[tenant_index]
+    if qos_blocked:
+        return PlacementError(
+            f"no machine can feasibly host tenant {tenant.name!r}: machines "
+            f"with spare capacity exist, but every candidate co-location "
+            f"violates the tenants' degradation limits"
+        )
+    return PlacementError(
+        f"no machine can host tenant {tenant.name!r} "
+        f"(cpu_demand={tenant.cpu_demand:g}, "
+        f"memory_demand_mb={tenant.memory_demand_mb:g}) "
+        f"given the tenants already placed"
+    )
+
+
+def _place_in_machine_order(
+    problem: FleetProblem, solver: PlacementSolver, start_of
+) -> Tuple[int, ...]:
+    """Place each tenant on the first fitting machine from a start index.
+
+    Shared body of the two cost-blind baselines; ``start_of(tenant_index)``
+    chooses where the scan begins (always 0 for first-fit, rotating for
+    round-robin).
+    """
+    loads: List[List[int]] = [[] for _ in problem.machines]
+    assignment: List[int] = []
+    for tenant_index in range(problem.n_tenants):
+        start = start_of(tenant_index)
+        for offset in range(problem.n_machines):
+            machine_index = (start + offset) % problem.n_machines
+            candidate = tuple(loads[machine_index] + [tenant_index])
+            if solver.fits(machine_index, candidate):
+                loads[machine_index].append(tenant_index)
+                assignment.append(machine_index)
+                break
+        else:
+            raise _unplaceable(problem, tenant_index)
+    return tuple(assignment)
+
+
+class RoundRobinPlacement:
+    """Cycle tenants across machines in order, skipping full machines.
+
+    The fairness baseline: ignores cost entirely and spreads tenants as
+    evenly as the capacities allow, the way a naive load balancer would.
+    """
+
+    name = "round-robin"
+
+    def place(self, problem: FleetProblem, solver: PlacementSolver) -> Tuple[int, ...]:
+        """Assign tenant ``i`` to machine ``i mod M`` (next fit with room)."""
+        return _place_in_machine_order(
+            problem, solver, lambda tenant_index: tenant_index % problem.n_machines
+        )
+
+
+class FirstFitPlacement:
+    """Place each tenant on the first machine (machine order) with room.
+
+    The classic bin-packing baseline: packs machines tightly in order,
+    which minimizes machines used but concentrates load (and therefore
+    cost) on the low-index machines.
+    """
+
+    name = "first-fit"
+
+    def place(self, problem: FleetProblem, solver: PlacementSolver) -> Tuple[int, ...]:
+        """Assign each tenant to the lowest-index machine that fits it."""
+        return _place_in_machine_order(problem, solver, lambda tenant_index: 0)
+
+
+class GreedyCostPlacement:
+    """Place each tenant where the marginal weighted-cost increase is least.
+
+    For tenant ``t`` and every machine ``m`` with room, the strategy prices
+    the co-location by asking the per-machine advisor to re-divide ``m``
+    with ``t`` added — ``Δ(m, t) = cost(m, S_m ∪ {t}) − cost(m, S_m)`` where
+    costs are the gain-weighted objective ``Σᵢ Gᵢ·Costᵢ`` — and commits
+    ``t`` to the machine minimizing ``Δ``.  Ties break toward the
+    lower-index machine, so the result is deterministic.
+
+    Tenants are considered in descending gain factor (then problem order):
+    heavyweight tenants choose machines while the fleet is still empty,
+    which is the standard decreasing-first heuristic from bin packing
+    transplanted to a cost objective.
+    """
+
+    name = "greedy-cost"
+
+    def __init__(self, sort_by_gain: bool = True) -> None:
+        self.sort_by_gain = sort_by_gain
+
+    def place(self, problem: FleetProblem, solver: PlacementSolver) -> Tuple[int, ...]:
+        """Greedily commit each tenant to its cheapest feasible machine."""
+        order = list(range(problem.n_tenants))
+        if self.sort_by_gain:
+            order.sort(key=lambda index: (-problem.tenants[index].gain_factor, index))
+        loads: List[List[int]] = [[] for _ in problem.machines]
+        current_cost: List[float] = [0.0 for _ in problem.machines]
+        assignment: List[Optional[int]] = [None] * problem.n_tenants
+        for tenant_index in order:
+            best_machine: Optional[int] = None
+            best_increase = float("inf")
+            best_cost = 0.0
+            any_capacity_fit = False
+            for machine_index in range(problem.n_machines):
+                candidate = tuple(loads[machine_index] + [tenant_index])
+                if not solver.fits(machine_index, candidate):
+                    continue
+                any_capacity_fit = True
+                cost = solver.machine_cost(machine_index, candidate)
+                increase = cost - current_cost[machine_index]
+                if increase < best_increase - 1e-12:
+                    best_machine = machine_index
+                    best_increase = increase
+                    best_cost = cost
+            if best_machine is None:
+                raise _unplaceable(
+                    problem, tenant_index, qos_blocked=any_capacity_fit
+                )
+            loads[best_machine].append(tenant_index)
+            current_cost[best_machine] = best_cost
+            assignment[tenant_index] = best_machine
+        return tuple(assignment)  # type: ignore[arg-type]
+
+
+PLACEMENTS.register("round-robin", lambda **_ignored: RoundRobinPlacement())
+PLACEMENTS.register("first-fit", lambda **_ignored: FirstFitPlacement())
+PLACEMENTS.register(
+    "greedy-cost",
+    lambda sort_by_gain=True, **_ignored: GreedyCostPlacement(sort_by_gain=sort_by_gain),
+)

@@ -176,6 +176,30 @@ class TestDynamicProgrammingMatchesBruteForce:
         )
         assert result.weighted_cost <= greedy.weighted_cost + 1e-9
 
+    def test_min_share_rounds_up_to_one_grid_unit(
+        self, tpch_sf1_queries, db2_calibration
+    ):
+        # delta=0.1 with the advisor's default min_share=0.05 used to
+        # compute min_units=round(0.5)=0 (banker's rounding), putting a
+        # zero share on the grid and crashing the first cost evaluation.
+        # The minimum now rounds *up*: no tenant may fall below one unit.
+        search = DynamicProgrammingSearch(delta=0.1, min_share=0.05)
+        assert search.effective_min_share == pytest.approx(0.1)
+        assert ExhaustiveSearch(
+            delta=0.1, min_share=0.05
+        ).effective_min_share == pytest.approx(0.1)
+        problem = _problem(
+            tpch_sf1_queries, db2_calibration,
+            gains=(1.0, 2.0), limits=(math.inf, math.inf), resources=(CPU,),
+        )
+        result = search.search(
+            problem, SyntheticCostFunction(problem, ((1.0, 1.0, 0.0),) * 2)
+        )
+        assert all(a.cpu_share >= 0.1 - 1e-9 for a in result.allocations)
+        # The advisor-level pairing from the docs works end to end.
+        report = Advisor(enumerator="exhaustive-dp", delta=0.1).recommend(problem)
+        assert all(a.cpu_share >= 0.1 - 1e-9 for a in report.allocations)
+
     def test_registered_as_strategy(self):
         search = ENUMERATORS.create("exhaustive-dp", delta=0.2, min_share=0.2)
         assert isinstance(search, DynamicProgrammingSearch)
