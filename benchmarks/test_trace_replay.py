@@ -1,0 +1,83 @@
+"""Fleet-scale trace replay — dynamic re-placement versus a static placement.
+
+Six mixed PostgreSQL / DB2 tenants run across three heterogeneous machines
+while a tenant-swap trace shifts the workloads mid-run (adjacent tenants
+exchange their entire mixes — the §7.10 "switch" move at fleet scale).
+The dynamic policy runs one dynamic configuration manager per machine and
+re-places the tenants whose change is classified major; the static policy
+keeps the initial placement and allocations for the whole trace.
+
+Asserted invariants (the new-subsystem acceptance criteria):
+
+* dynamic management + incremental re-placement beats the static initial
+  placement on cumulative actual cost, and
+* a repeated identical replay is answered entirely from the shared cost
+  cache — zero new cost-estimator evaluations.
+"""
+
+from conftest import run_once
+
+from repro.fleet import FleetAdvisor, FleetProblem
+from repro.traces import FleetTraceReplayer, tenant_swap_trace
+
+N_PERIODS = 6
+SWAP_PERIOD = 3
+
+#: Three query personalities, alternated across the two engine models.
+TENANTS = [
+    {"name": "heavy-db2", "engine": "db2",
+     "statements": [["q18", 30.0], ["q21", 1.0]], "gain_factor": 2.0},
+    {"name": "light-db2", "engine": "db2", "statements": [["q21", 1.0]]},
+    {"name": "heavy-pg", "engine": "postgresql",
+     "statements": [["q18", 24.0]], "gain_factor": 2.0},
+    {"name": "light-pg", "engine": "postgresql", "statements": [["q17", 1.0]]},
+    {"name": "mid-db2", "engine": "db2", "statements": [["q1", 4.0]]},
+    {"name": "mid-pg", "engine": "postgresql", "statements": [["q1", 3.0]]},
+]
+
+MACHINES = [
+    {"name": "machine-01"},
+    {"name": "machine-02",
+     "cpu_work_units_per_second": 4_000_000.0, "memory_mb": 16384.0},
+    {"name": "machine-03"},
+]
+
+
+def _replay_both():
+    fleet = FleetProblem(
+        tenants=TENANTS, machines=MACHINES, resources=["cpu"],
+        name="trace-replay-fleet",
+    )
+    trace = tenant_swap_trace(
+        TENANTS, swap_periods=(SWAP_PERIOD,), n_periods=N_PERIODS
+    )
+    advisor = FleetAdvisor(delta=0.1)
+    dynamic = FleetTraceReplayer(trace, fleet, advisor=advisor).replay()
+    static = FleetTraceReplayer(
+        trace, fleet, advisor=advisor, policy="static"
+    ).replay()
+    repeat = FleetTraceReplayer(trace, fleet, advisor=advisor).replay()
+    return dynamic, static, repeat
+
+
+def test_trace_replay_fleet_dynamic_vs_static(benchmark):
+    dynamic, static, repeat = run_once(benchmark, _replay_both)
+
+    print("\nFleet trace replay — cumulative actual cost per policy")
+    print(f"  dynamic: {dynamic.cumulative_actual_cost:12.1f}  "
+          f"(re-placements at periods {list(dynamic.replacements)})")
+    print(f"  static:  {static.cumulative_actual_cost:12.1f}")
+    print("  per-period actual cost (dynamic vs static):")
+    for d, s in zip(dynamic.periods, static.periods):
+        marker = "  <- swap" if d.period == SWAP_PERIOD else ""
+        print(f"    p{d.period}: {d.actual_cost:10.1f}  {s.actual_cost:10.1f}"
+              f"{marker}")
+
+    # The swap is detected as a major change and triggers a re-placement.
+    assert "major" in dynamic.periods[SWAP_PERIOD - 1].change_classes.values()
+    assert SWAP_PERIOD in dynamic.replacements
+    # Dynamic re-placement beats the static initial placement overall.
+    assert dynamic.cumulative_actual_cost < static.cumulative_actual_cost
+    # A repeated identical replay is answered entirely from the cache.
+    assert repeat.cost_stats.evaluations == 0
+    assert repeat.cumulative_actual_cost == dynamic.cumulative_actual_cost

@@ -18,7 +18,12 @@ The package provides:
 * the fleet placement engine — :class:`~repro.fleet.FleetAdvisor` decides
   which machine each tenant lands on (``"greedy-cost"``, ``"round-robin"``,
   ``"first-fit"``) before the per-machine advisor divides its resources
-  (:mod:`repro.fleet`), and
+  (:mod:`repro.fleet`),
+* the workload-trace subsystem — timestamped
+  :class:`~repro.traces.WorkloadTrace`\\ s, synthetic trace generators, and
+  :class:`~repro.traces.TraceReplayer` /
+  :class:`~repro.traces.FleetTraceReplayer` driving dynamic reconfiguration
+  and incremental fleet re-placement (:mod:`repro.traces`), and
 * the experiment harness reproducing every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
@@ -78,10 +83,16 @@ from .fleet import (
     FleetTenant,
     Machine,
 )
+from .traces import (
+    FleetTraceReplayer,
+    ReplayReport,
+    TraceReplayer,
+    WorkloadTrace,
+)
 from .virt import Hypervisor, PhysicalMachine
 from .workloads import Workload, tpcc_database, tpcc_transactions, tpch_database, tpch_queries
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ActualCostFunction",
@@ -93,6 +104,7 @@ __all__ = [
     "FleetProblem",
     "FleetReport",
     "FleetTenant",
+    "FleetTraceReplayer",
     "Hypervisor",
     "Machine",
     "PhysicalMachine",
@@ -100,14 +112,17 @@ __all__ = [
     "ProblemBuilder",
     "Recommendation",
     "RecommendationReport",
+    "ReplayReport",
     "ResourceAllocation",
     "Scenario",
     "TenantSpec",
+    "TraceReplayer",
     "UNLIMITED_DEGRADATION",
     "VirtualizationDesignAdvisor",
     "VirtualizationDesignProblem",
     "WhatIfCostEstimator",
     "Workload",
+    "WorkloadTrace",
     "calibrate_engine",
     "quickstart_problem",
     "tpcc_database",

@@ -1,0 +1,168 @@
+"""``python -m repro`` — the advisor as a command-line tool.
+
+Three subcommands cover the three problem families, each reading one JSON
+document and writing the corresponding JSON report to stdout (or a file):
+
+* ``recommend <scenario.json>`` — solve a single-machine
+  :class:`~repro.api.Scenario` with :class:`~repro.api.Advisor`; the
+  scenario's embedded ``advisor`` options (enumerator, delta, ...) are
+  honoured.
+* ``fleet <fleet.json>`` — place and configure a
+  :class:`~repro.fleet.FleetProblem` with
+  :class:`~repro.fleet.FleetAdvisor` (``--placement`` selects a strategy).
+* ``replay <trace.json>`` — replay a
+  :class:`~repro.traces.WorkloadTrace`; on one machine by default, or
+  across a fleet with ``--fleet fleet.json`` (``--policy`` selects
+  dynamic / continuous / static).
+
+Examples::
+
+    python -m repro recommend scenario.json --indent 2
+    python -m repro fleet fleet.json --placement round-robin -o report.json
+    python -m repro replay trace.json --fleet fleet.json --policy static
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .api import Advisor, Scenario
+from .exceptions import ReproError
+from .fleet import PLACEMENTS, FleetAdvisor, FleetProblem
+from .traces import POLICIES, POLICY_DYNAMIC, FleetTraceReplayer, TraceReplayer, WorkloadTrace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Virtualization design advisor: recommend per-machine VM "
+            "configurations, fleet placements, and trace replays from "
+            "JSON problem documents."
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_output_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--indent",
+            type=int,
+            default=2,
+            help="JSON indentation of the report (default: 2)",
+        )
+        sub.add_argument(
+            "-o",
+            "--output",
+            type=Path,
+            default=None,
+            help="write the report to this file instead of stdout",
+        )
+
+    recommend = commands.add_parser(
+        "recommend",
+        help="solve a single-machine consolidation scenario",
+        description="Solve one Scenario JSON document with the Advisor.",
+    )
+    recommend.add_argument("scenario", type=Path, help="path to a Scenario JSON file")
+    add_output_options(recommend)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="place tenants across a machine fleet",
+        description="Solve one FleetProblem JSON document with the FleetAdvisor.",
+    )
+    fleet.add_argument("fleet", type=Path, help="path to a FleetProblem JSON file")
+    fleet.add_argument(
+        "--placement",
+        default="greedy-cost",
+        choices=sorted(PLACEMENTS.names()),
+        help="placement strategy (default: greedy-cost)",
+    )
+    add_output_options(fleet)
+
+    replay = commands.add_parser(
+        "replay",
+        help="replay a workload trace through dynamic management",
+        description=(
+            "Replay one WorkloadTrace JSON document; single-machine by "
+            "default, fleet-scale with --fleet."
+        ),
+    )
+    replay.add_argument("trace", type=Path, help="path to a WorkloadTrace JSON file")
+    replay.add_argument(
+        "--fleet",
+        type=Path,
+        default=None,
+        help="replay across this FleetProblem JSON file instead of one machine",
+    )
+    replay.add_argument(
+        "--policy",
+        default=POLICY_DYNAMIC,
+        choices=POLICIES,
+        help="replay policy (default: dynamic)",
+    )
+    add_output_options(replay)
+
+    return parser
+
+
+def _read(path: Path) -> str:
+    return path.read_text(encoding="utf-8")
+
+
+def _emit(document: str, output: Optional[Path]) -> None:
+    if output is None:
+        print(document)
+    else:
+        output.write_text(document + "\n", encoding="utf-8")
+
+
+def _run_recommend(args: argparse.Namespace) -> str:
+    scenario = Scenario.from_json(_read(args.scenario))
+    advisor = Advisor(**scenario.advisor)
+    report = advisor.recommend(scenario.build())
+    return report.to_json(indent=args.indent)
+
+
+def _run_fleet(args: argparse.Namespace) -> str:
+    problem = FleetProblem.from_json(_read(args.fleet))
+    report = FleetAdvisor(placement=args.placement).recommend(problem)
+    return report.to_json(indent=args.indent)
+
+
+def _run_replay(args: argparse.Namespace) -> str:
+    trace = WorkloadTrace.from_json(_read(args.trace))
+    if args.fleet is None:
+        report = TraceReplayer(trace, policy=args.policy).replay()
+    else:
+        fleet = FleetProblem.from_json(_read(args.fleet))
+        report = FleetTraceReplayer(trace, fleet, policy=args.policy).replay()
+    return report.to_json(indent=args.indent)
+
+
+_RUNNERS = {
+    "recommend": _run_recommend,
+    "fleet": _run_fleet,
+    "replay": _run_replay,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        document = _RUNNERS[args.command](args)
+        _emit(document, args.output)
+    except (ReproError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -219,6 +219,19 @@ class Advisor:
             cache.clear()
         self._cost_functions.clear()
 
+    def cache_stats(self) -> CostCallStats:
+        """Aggregate traffic of the shared cost caches.
+
+        Every named cost-function strategy routes through one shared
+        :class:`~repro.api.cache.CostCache`, and each miss is exactly one
+        underlying evaluation, so ``evaluations == cache_misses`` here.
+        Long-running drivers (trace replay, fleets) difference two
+        snapshots to report what one run actually evaluated.
+        """
+        hits = sum(cache.hits for cache in self._shared_caches.values())
+        misses = sum(cache.misses for cache in self._shared_caches.values())
+        return CostCallStats(evaluations=misses, cache_hits=hits, cache_misses=misses)
+
     # ------------------------------------------------------------------
     # Static recommendation (Section 4)
     # ------------------------------------------------------------------
@@ -423,12 +436,26 @@ class Advisor:
         always_refine: bool = False,
         actual_cost_factory: Optional[Callable] = None,
     ) -> DynamicConfigurationManager:
-        """Create a dynamic configuration manager for a (CPU-only) problem."""
+        """Create a dynamic configuration manager for a (CPU-only) problem.
+
+        The manager's what-if estimates and (by default) its observed
+        "actual" costs are served through the advisor's shared cost caches,
+        so replaying the same sequence of period workloads twice — e.g. a
+        repeated :class:`~repro.traces.replay.TraceReplayer` run — performs
+        zero new cost-estimator evaluations the second time.
+        """
         return DynamicConfigurationManager(
             base_problem=problem,
             enumerator=self._grid_enumerator(),
             always_refine=always_refine,
-            actual_cost_factory=actual_cost_factory,
+            actual_cost_factory=(
+                actual_cost_factory
+                if actual_cost_factory is not None
+                else lambda period_problem: self.cost_function(period_problem, "actual")
+            ),
+            estimator_factory=lambda period_problem: self.cost_function(
+                period_problem, "what-if"
+            ),
         )
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ is a one-time, per-DBMS, per-machine step).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..calibration import CalibrationSettings, calibrate_engine
@@ -52,6 +53,10 @@ from ..workloads.workload import Workload, WorkloadStatement
 DEFAULT_CALIBRATION_SETTINGS = CalibrationSettings(
     cpu_shares=(0.2, 0.4, 0.6, 0.8, 1.0)
 )
+
+#: Bound on memoized spec materializations (mirrors the fleet advisor's
+#: tenant memo; eviction only costs re-evaluation, never correctness).
+_CONSOLIDATED_MEMO_SIZE = 4096
 
 #: One workload statement, in any of the accepted spellings:
 #: ``"q18"``, ``("q18", 25.0)``, or ``{"query": "q18", "frequency": 25.0}``.
@@ -115,6 +120,13 @@ class ProblemBuilder:
         self._engines: Dict[_SpecKey, DatabaseEngine] = {}
         self._calibrations: Dict[_SpecKey, EngineCalibration] = {}
         self._queries: Dict[_SpecKey, Dict[str, QuerySpec]] = {}
+        #: Materialized declarative tenants, memoized by spec *value* (LRU
+        #: bounded): equal specs return the identical workload object, which
+        #: is the identity the shared cost cache answers for — a repeated
+        #: trace replay or fleet solve re-evaluates nothing.
+        self._consolidated_memo: "OrderedDict[Tuple, ConsolidatedWorkload]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Machine / calibration / resource configuration
@@ -333,6 +345,59 @@ class ProblemBuilder:
             )
         )
         return self
+
+    def consolidated(self, spec) -> ConsolidatedWorkload:
+        """Materialize one declarative tenant spec, without adding it.
+
+        ``spec`` is any :class:`~repro.api.scenario.TenantSpec`-shaped
+        object (``name``, ``engine``, ``benchmark``, ``scale``,
+        ``statements``, ``degradation_limit``, ``gain_factor``); statement
+        names are resolved against the spec's (cached) query templates and
+        the engine's (cached) calibration is attached.  This is the shared
+        materialization path of the fleet advisor and the trace replayer,
+        which build tenants per machine / per period rather than per
+        problem.
+
+        Materializations are memoized by the spec's value, so asking for an
+        equal spec again returns the *same* consolidated workload object
+        (and therefore the same shared-cost-cache identity).
+        """
+        limit = getattr(spec, "degradation_limit", None)
+        gain = getattr(spec, "gain_factor", 1.0)
+        memo_key = (
+            spec.name,
+            spec.engine,
+            spec.benchmark,
+            float(spec.scale),
+            tuple(spec.statements),
+            limit,
+            gain,
+        )
+        memoized = self._consolidated_memo.get(memo_key)
+        if memoized is not None:
+            self._consolidated_memo.move_to_end(memo_key)
+            return memoized
+        templates = self.queries(spec.engine, spec.benchmark, spec.scale)
+        statements: List[WorkloadStatement] = []
+        for query_name, frequency in spec.statements:
+            if query_name not in templates:
+                raise ConfigurationError(
+                    f"tenant {spec.name!r} references unknown query "
+                    f"{query_name!r}; available: {', '.join(sorted(templates))}"
+                )
+            statements.append(
+                WorkloadStatement(query=templates[query_name], frequency=frequency)
+            )
+        consolidated = ConsolidatedWorkload(
+            workload=Workload(name=spec.name, statements=tuple(statements)),
+            calibration=self.calibration(spec.engine, spec.benchmark, spec.scale),
+            degradation_limit=UNLIMITED_DEGRADATION if limit is None else limit,
+            gain_factor=gain,
+        )
+        self._consolidated_memo[memo_key] = consolidated
+        while len(self._consolidated_memo) > _CONSOLIDATED_MEMO_SIZE:
+            self._consolidated_memo.popitem(last=False)
+        return consolidated
 
     def clear_tenants(self) -> "ProblemBuilder":
         """Drop the tenants added so far (calibration caches are kept)."""

@@ -26,6 +26,7 @@ and reports can use it interchangeably.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.cost_estimator import (
@@ -70,12 +71,20 @@ class CostCache:
     wholesale (partial eviction would need per-object reference counts to
     keep the pins sound).  The hit/miss counters survive the reset so
     in-flight statistics deltas stay monotonic.
+
+    The cache is thread-safe: lookups, stores, counter updates, and the
+    generational reset all happen under one internal lock, so concurrent
+    per-machine solves (the async-fleet direction) can share a cache
+    without torn counters or a reset racing a store.  The lock is never
+    held while a cost is being *evaluated* — only around the dictionary
+    operations — so contention stays negligible next to an optimizer call.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries <= 0:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
         self.max_entries = max_entries
+        self._lock = threading.Lock()
         self._values: Dict[_Key, float] = {}
         self._pins: Dict[int, object] = {}
         self.hits = 0
@@ -102,12 +111,14 @@ class CostCache:
         allocation: ResourceAllocation,
     ) -> Optional[float]:
         """Cached cost of ``tenant`` under ``allocation``, or ``None``."""
-        value = self._values.get(self._key(namespace, tenant, allocation))
-        if value is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return value
+        key = self._key(namespace, tenant, allocation)
+        with self._lock:
+            value = self._values.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return value
 
     def put(
         self,
@@ -118,30 +129,39 @@ class CostCache:
     ) -> None:
         """Store the cost of ``tenant`` under ``allocation``."""
         key = self._key(namespace, tenant, allocation)
-        if key not in self._values and len(self._values) >= self.max_entries:
-            self._values.clear()
-            self._pins.clear()
-        self._values[key] = value
-        self._pins.setdefault(id(tenant.workload), tenant.workload)
-        self._pins.setdefault(id(tenant.calibration), tenant.calibration)
+        with self._lock:
+            if key not in self._values and len(self._values) >= self.max_entries:
+                self._values.clear()
+                self._pins.clear()
+            self._values[key] = value
+            self._pins.setdefault(id(tenant.workload), tenant.workload)
+            self._pins.setdefault(id(tenant.calibration), tenant.calibration)
+
+    def record_extra_hit(self) -> None:
+        """Count a hit that bypassed :meth:`get` (batch-internal duplicates)."""
+        with self._lock:
+            self.hits += 1
 
     @property
     def size(self) -> int:
         """Number of cached cost values."""
-        return len(self._values)
+        with self._lock:
+            return len(self._values)
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups answered from the cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def clear(self) -> None:
         """Drop all cached values and reset the counters."""
-        self._values.clear()
-        self._pins.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._values.clear()
+            self._pins.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 class CachedCostFunction(CostFunction):
@@ -251,7 +271,7 @@ class CachedCostFunction(CostFunction):
         def record_duplicate_hit() -> None:
             # A sequential cost() loop would find the first occurrence's
             # value already cached by the time it sees the duplicate.
-            self.cache.hits += 1
+            self.cache.record_extra_hit()
 
         return resolve_batch_through_cache(
             allocations,

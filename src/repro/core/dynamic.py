@@ -87,6 +87,9 @@ class DynamicConfigurationManager:
         actual_cost_factory: Optional[
             Callable[[VirtualizationDesignProblem], CostFunction]
         ] = None,
+        estimator_factory: Optional[
+            Callable[[VirtualizationDesignProblem], CostFunction]
+        ] = None,
     ) -> None:
         if base_problem.resources != (CPU,):
             raise ConfigurationError(
@@ -97,6 +100,10 @@ class DynamicConfigurationManager:
         self.enumerator = enumerator or GreedyConfigurationEnumerator()
         self.always_refine = always_refine
         self.actual_cost_factory = actual_cost_factory or ActualCostFunction
+        # The what-if estimator is also pluggable so callers (notably trace
+        # replay) can route every period's estimates through a shared cost
+        # cache: a repeated replay then re-evaluates nothing.
+        self.estimator_factory = estimator_factory or WhatIfCostEstimator
         self._monitors = [
             WorkloadMonitor(
                 tenant.name,
@@ -119,7 +126,7 @@ class DynamicConfigurationManager:
     def _fit_model_from_estimator(
         self,
         problem: VirtualizationDesignProblem,
-        estimator: WhatIfCostEstimator,
+        estimator: CostFunction,
         tenant_index: int,
     ) -> LinearCostModel:
         points = []
@@ -150,7 +157,7 @@ class DynamicConfigurationManager:
     # ------------------------------------------------------------------
     def initial_recommendation(self) -> Tuple[ResourceAllocation, ...]:
         """Make the initial static recommendation for the base workloads."""
-        estimator = WhatIfCostEstimator(self.base_problem)
+        estimator = self.estimator_factory(self.base_problem)
         result = self.enumerator.enumerate(self.base_problem, estimator)
         self._current = result.allocations
         for index in range(self.base_problem.n_workloads):
@@ -189,7 +196,7 @@ class DynamicConfigurationManager:
             )
         self._period += 1
         problem = self.base_problem.with_tenants(tenants)
-        estimator = WhatIfCostEstimator(problem)
+        estimator = self.estimator_factory(problem)
         actuals = self.actual_cost_factory(problem)
 
         estimated_costs: List[float] = []

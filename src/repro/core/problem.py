@@ -26,6 +26,11 @@ RESOURCE_NAMES: Tuple[str, str] = (CPU, MEMORY)
 #: Degradation limit meaning "no limit" (the paper's ``L_i`` = infinity).
 UNLIMITED_DEGRADATION = math.inf
 
+#: Memory fraction of the paper's fixed 512 MB per-VM grant on the 8 GB
+#: testbed — the per-VM memory used whenever only CPU is controlled (the
+#: CPU-only experiments and trace replay share this one definition).
+FIXED_MEMORY_FRACTION_512MB = 512.0 / 8192.0
+
 
 @dataclass(frozen=True)
 class ResourceAllocation:

@@ -21,6 +21,7 @@ from ..core.enumerator import DynamicProgrammingSearch, ExhaustiveSearch
 from ..core.problem import (
     CPU,
     ConsolidatedWorkload,
+    FIXED_MEMORY_FRACTION_512MB,
     MEMORY,
     ResourceAllocation,
     UNLIMITED_DEGRADATION,
@@ -40,9 +41,8 @@ DEFAULT_CALIBRATION_SETTINGS = CalibrationSettings(
     cpu_shares=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9),
 )
 
-#: Memory fraction corresponding to the paper's fixed 512 MB per VM in the
-#: CPU-only experiments (512 MB of an 8 GB host).
-FIXED_MEMORY_FRACTION_512MB = 512.0 / 8192.0
+# FIXED_MEMORY_FRACTION_512MB is canonical in repro.core.problem (shared
+# with the trace replayer) and re-exported here for the experiment modules.
 
 
 class ExperimentContext:
@@ -74,6 +74,11 @@ class ExperimentContext:
     # ------------------------------------------------------------------
     # Engine / calibration factories (delegated to the builder)
     # ------------------------------------------------------------------
+    @property
+    def builder(self) -> ProblemBuilder:
+        """The context's problem builder (shared calibration caches)."""
+        return self._builder
+
     def database(self, engine: str, benchmark: str, scale: float) -> Database:
         """The (cached) database catalog for one engine/benchmark/scale."""
         return self._builder.database(engine, benchmark, scale)

@@ -34,22 +34,17 @@ from __future__ import annotations
 import math
 import time
 from collections import OrderedDict
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..api.advisor import Advisor
 from ..api.builder import ProblemBuilder
 from ..api.report import CostCallStats, RecommendationReport
 from ..calibration import CalibrationSettings
-from ..core.problem import (
-    ConsolidatedWorkload,
-    UNLIMITED_DEGRADATION,
-    VirtualizationDesignProblem,
-)
-from ..exceptions import ConfigurationError, OptimizationError
-from ..workloads.workload import Workload, WorkloadStatement
+from ..core.problem import ConsolidatedWorkload, VirtualizationDesignProblem
+from ..exceptions import ConfigurationError, OptimizationError, PlacementError
 from .problem import FleetProblem, Machine, Placement
 from .report import FleetReport, MachineReport
-from .strategies import PLACEMENTS, PlacementStrategy
+from .strategies import PLACEMENTS, PlacementStrategy, greedy_assign
 
 #: Hardware shape plus calibration overrides: the unit of calibration reuse.
 _BuilderKey = Tuple[Tuple[float, float, int], Tuple[Tuple[str, Any], ...]]
@@ -255,28 +250,7 @@ class FleetAdvisor:
             self._tenant_memo.move_to_end(key)
             return memoized
         builder = self._builder_for(machine, problem)
-        spec = tenant.spec
-        templates = builder.queries(spec.engine, spec.benchmark, spec.scale)
-        statements: List[WorkloadStatement] = []
-        for query_name, frequency in spec.statements:
-            if query_name not in templates:
-                raise ConfigurationError(
-                    f"tenant {spec.name!r} references unknown query "
-                    f"{query_name!r}; available: {', '.join(sorted(templates))}"
-                )
-            statements.append(
-                WorkloadStatement(query=templates[query_name], frequency=frequency)
-            )
-        consolidated = ConsolidatedWorkload(
-            workload=Workload(name=spec.name, statements=tuple(statements)),
-            calibration=builder.calibration(spec.engine, spec.benchmark, spec.scale),
-            degradation_limit=(
-                UNLIMITED_DEGRADATION
-                if spec.degradation_limit is None
-                else spec.degradation_limit
-            ),
-            gain_factor=spec.gain_factor,
-        )
+        consolidated = builder.consolidated(tenant.spec)
         self._tenant_memo[key] = consolidated
         while len(self._tenant_memo) > _TENANT_MEMO_SIZE:
             self._tenant_memo.popitem(last=False)
@@ -313,6 +287,23 @@ class FleetAdvisor:
             self._problem_memo.popitem(last=False)
         return design
 
+    def machine_problem(
+        self,
+        problem: FleetProblem,
+        machine_index: int,
+        tenant_indices: Tuple[int, ...],
+    ) -> VirtualizationDesignProblem:
+        """The per-machine design problem for a tenant set (public view).
+
+        Memoized by value: asking for the same machine hardware and tenant
+        specs again returns the *same* problem object, whose workloads the
+        shared cost cache keeps answering for.  The trace replayer uses
+        this to materialize each period's per-machine problems.
+        """
+        ordered = tuple(sorted(tenant_indices))
+        machine = problem.machines[machine_index]
+        return self._design_problem(problem, machine, ordered)
+
     def clear_caches(self) -> None:
         """Drop the calibrated builders, memoized problems, and cost caches."""
         self._builders.clear()
@@ -343,7 +334,95 @@ class FleetAdvisor:
             strategy_name = _placement_name(placement)
         assignment = strategy.place(problem, solver)
         placed = Placement(problem, assignment, strategy=strategy_name)
+        return self._finalize(problem, solver, placed, strategy_name, started)
 
+    def recommend_incremental(
+        self,
+        problem: FleetProblem,
+        previous: Union[FleetReport, Placement, Mapping[str, str]],
+        moved: Optional[Iterable[str]] = None,
+    ) -> FleetReport:
+        """Re-place only the changed tenants of an already-placed fleet.
+
+        ``previous`` is the placement in force (a :class:`FleetReport`, a
+        :class:`~repro.fleet.problem.Placement`, or a plain tenant-name →
+        machine-name mapping).  Tenants named in ``moved`` — plus any
+        tenant of ``problem`` the previous placement does not cover — are
+        pulled off their machines and greedily re-placed where the marginal
+        gain-weighted cost increase is smallest; everybody else stays put.
+
+        Because per-machine problems are memoized by value and every solve
+        runs through the shared cost cache, machines whose tenant set and
+        workloads did not change are re-priced entirely from the cache:
+        only the moved tenants (and the machines they leave or join) cost
+        new evaluations, which is what makes trace-driven re-placement
+        cheap to run every monitoring period.
+        """
+        started = time.perf_counter()
+        solver = _FleetSolver(self, problem)
+        if isinstance(previous, FleetReport):
+            mapping: Mapping[str, str] = previous.placement
+        elif isinstance(previous, Placement):
+            mapping = previous.as_mapping()
+        else:
+            mapping = dict(previous)
+        machine_index_of = {
+            machine.name: index for index, machine in enumerate(problem.machines)
+        }
+        names = problem.tenant_names()
+        moved_set = set(moved) if moved is not None else set()
+        unknown = moved_set - set(names)
+        if unknown:
+            raise ConfigurationError(
+                f"moved tenant(s) not in the fleet problem: "
+                f"{', '.join(map(repr, sorted(unknown)))}"
+            )
+        moved_set |= {name for name in names if name not in mapping}
+
+        assignment: List[Optional[int]] = [None] * problem.n_tenants
+        loads: List[List[int]] = [[] for _ in problem.machines]
+        for tenant_index, name in enumerate(names):
+            if name in moved_set:
+                continue
+            machine_name = mapping[name]
+            if machine_name not in machine_index_of:
+                raise ConfigurationError(
+                    f"previous placement assigns tenant {name!r} to unknown "
+                    f"machine {machine_name!r}"
+                )
+            machine_index = machine_index_of[machine_name]
+            assignment[tenant_index] = machine_index
+            loads[machine_index].append(tenant_index)
+        for machine_index, pinned in enumerate(loads):
+            if pinned and not solver.fits(machine_index, tuple(pinned)):
+                machine = problem.machines[machine_index]
+                kept = [problem.tenants[index].name for index in pinned]
+                raise PlacementError(
+                    f"machine {machine.name!r} cannot keep hosting "
+                    f"{', '.join(map(repr, kept))}: capacity exceeded; "
+                    f"add the overflowing tenants to 'moved'"
+                )
+        current_cost = [
+            solver.machine_cost(machine_index, tuple(pinned)) if pinned else 0.0
+            for machine_index, pinned in enumerate(loads)
+        ]
+        order = sorted(
+            (index for index, slot in enumerate(assignment) if slot is None),
+            key=lambda index: (-problem.tenants[index].gain_factor, index),
+        )
+        final = greedy_assign(problem, solver, order, assignment, loads, current_cost)
+        placed = Placement(problem, final, strategy="incremental")
+        return self._finalize(problem, solver, placed, "incremental", started)
+
+    def _finalize(
+        self,
+        problem: FleetProblem,
+        solver: _FleetSolver,
+        placed: Placement,
+        strategy_name: str,
+        started: float,
+    ) -> FleetReport:
+        """Solve every machine of a committed placement and assemble the report."""
         machine_reports: List[MachineReport] = []
         total_cost = 0.0
         total_weighted = 0.0

@@ -151,6 +151,48 @@ class FirstFitPlacement:
         return _place_in_machine_order(problem, solver, lambda tenant_index: 0)
 
 
+def greedy_assign(
+    problem: FleetProblem,
+    solver: PlacementSolver,
+    order: List[int],
+    assignment: List[Optional[int]],
+    loads: List[List[int]],
+    current_cost: List[float],
+) -> Tuple[int, ...]:
+    """Greedily commit each tenant in ``order`` to its cheapest machine.
+
+    The shared body of :class:`GreedyCostPlacement` and the fleet
+    advisor's incremental re-placement: ``assignment`` / ``loads`` /
+    ``current_cost`` may already contain committed (pinned) tenants, and
+    every tenant in ``order`` is assigned to the machine whose *marginal*
+    gain-weighted cost increase is smallest (ties break toward the
+    lower-index machine).  All three state arguments are mutated in place;
+    the completed assignment is returned.
+    """
+    for tenant_index in order:
+        best_machine: Optional[int] = None
+        best_increase = float("inf")
+        best_cost = 0.0
+        any_capacity_fit = False
+        for machine_index in range(problem.n_machines):
+            candidate = tuple(loads[machine_index] + [tenant_index])
+            if not solver.fits(machine_index, candidate):
+                continue
+            any_capacity_fit = True
+            cost = solver.machine_cost(machine_index, candidate)
+            increase = cost - current_cost[machine_index]
+            if increase < best_increase - 1e-12:
+                best_machine = machine_index
+                best_increase = increase
+                best_cost = cost
+        if best_machine is None:
+            raise _unplaceable(problem, tenant_index, qos_blocked=any_capacity_fit)
+        loads[best_machine].append(tenant_index)
+        current_cost[best_machine] = best_cost
+        assignment[tenant_index] = best_machine
+    return tuple(assignment)  # type: ignore[arg-type]
+
+
 class GreedyCostPlacement:
     """Place each tenant where the marginal weighted-cost increase is least.
 
@@ -177,33 +219,14 @@ class GreedyCostPlacement:
         order = list(range(problem.n_tenants))
         if self.sort_by_gain:
             order.sort(key=lambda index: (-problem.tenants[index].gain_factor, index))
-        loads: List[List[int]] = [[] for _ in problem.machines]
-        current_cost: List[float] = [0.0 for _ in problem.machines]
-        assignment: List[Optional[int]] = [None] * problem.n_tenants
-        for tenant_index in order:
-            best_machine: Optional[int] = None
-            best_increase = float("inf")
-            best_cost = 0.0
-            any_capacity_fit = False
-            for machine_index in range(problem.n_machines):
-                candidate = tuple(loads[machine_index] + [tenant_index])
-                if not solver.fits(machine_index, candidate):
-                    continue
-                any_capacity_fit = True
-                cost = solver.machine_cost(machine_index, candidate)
-                increase = cost - current_cost[machine_index]
-                if increase < best_increase - 1e-12:
-                    best_machine = machine_index
-                    best_increase = increase
-                    best_cost = cost
-            if best_machine is None:
-                raise _unplaceable(
-                    problem, tenant_index, qos_blocked=any_capacity_fit
-                )
-            loads[best_machine].append(tenant_index)
-            current_cost[best_machine] = best_cost
-            assignment[tenant_index] = best_machine
-        return tuple(assignment)  # type: ignore[arg-type]
+        return greedy_assign(
+            problem,
+            solver,
+            order,
+            assignment=[None] * problem.n_tenants,
+            loads=[[] for _ in problem.machines],
+            current_cost=[0.0 for _ in problem.machines],
+        )
 
 
 PLACEMENTS.register("round-robin", lambda **_ignored: RoundRobinPlacement())

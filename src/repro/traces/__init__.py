@@ -1,0 +1,69 @@
+"""Workload traces: time-varying consolidation scenarios and their replay.
+
+The paper's advisor configures static workloads; its §7.10 experiment shows
+what happens when workloads *shift* — but only as one hard-coded script.
+This package makes shifting workloads a first-class input:
+
+* :mod:`repro.traces.model` — the data model: :class:`TraceEvent` /
+  :class:`TenantTrace` / :class:`WorkloadTrace`, JSON round-trippable like
+  :class:`~repro.api.Scenario` and :class:`~repro.fleet.FleetProblem`.
+* :mod:`repro.traces.generators` — deterministic synthetic generators
+  (``diurnal``, ``ramp``, ``spike``, ``step-shift``, ``tenant-swap``, and
+  the paper's §7.10 schedule as ``sec710``).
+* :mod:`repro.traces.replay` — :class:`TraceReplayer` (one machine driven
+  through :class:`~repro.core.dynamic.DynamicConfigurationManager`) and
+  :class:`FleetTraceReplayer` (per-machine managers plus incremental
+  :class:`~repro.fleet.FleetAdvisor` re-placement on major changes), both
+  emitting a serializable :class:`ReplayReport`.
+
+Quick start::
+
+    from repro.traces import TraceReplayer, sec710_schedule
+
+    trace = sec710_schedule()                  # the paper's §7.10 schedule
+    report = TraceReplayer(trace).replay()     # dynamic management
+    print(report.cumulative_actual_cost)
+    print(report.to_json(indent=2))
+"""
+
+from .generators import (
+    GENERATORS,
+    diurnal_trace,
+    ramp_trace,
+    sec710_schedule,
+    spike_trace,
+    step_shift_trace,
+    tenant_swap_trace,
+)
+from .model import TenantTrace, TraceEvent, WorkloadTrace
+from .replay import (
+    POLICIES,
+    POLICY_CONTINUOUS,
+    POLICY_DYNAMIC,
+    POLICY_STATIC,
+    FleetTraceReplayer,
+    ReplayPeriod,
+    ReplayReport,
+    TraceReplayer,
+)
+
+__all__ = [
+    "GENERATORS",
+    "POLICIES",
+    "POLICY_CONTINUOUS",
+    "POLICY_DYNAMIC",
+    "POLICY_STATIC",
+    "FleetTraceReplayer",
+    "ReplayPeriod",
+    "ReplayReport",
+    "TenantTrace",
+    "TraceEvent",
+    "TraceReplayer",
+    "WorkloadTrace",
+    "diurnal_trace",
+    "ramp_trace",
+    "sec710_schedule",
+    "spike_trace",
+    "step_shift_trace",
+    "tenant_swap_trace",
+]

@@ -1,0 +1,411 @@
+"""Synthetic workload-trace generators.
+
+Each generator produces a :class:`~repro.traces.model.WorkloadTrace` with a
+characteristic temporal shape, so shifting-workload scenarios can be
+spawned from one line instead of hand-written event lists:
+
+* :func:`diurnal_trace` — sinusoidal day/night intensity cycles, optionally
+  staggered across tenants (offices in different time zones).
+* :func:`ramp_trace` — linear intensity growth (or decay) over the trace.
+* :func:`spike_trace` — flat intensity with one flash-crowd period.
+* :func:`step_shift_trace` — a one-off statement-mix change at a chosen
+  period (the paper's "major change": new queries, not just more clients).
+* :func:`tenant_swap_trace` — adjacent tenant pairs exchange their entire
+  mixes at chosen periods (the §7.10 "workloads switch virtual machines"
+  move, generalized to any tenant list).
+* :func:`sec710_schedule` — the paper's §7.10 experiment schedule itself
+  (growing TPC-H versus steady TPC-C, switching slots twice) as a named
+  generator, so the Figures 35–36 script is just one member of the family.
+
+All generators are deterministic: the same arguments always produce the
+same trace, which is what lets a repeated replay answer entirely from the
+cost cache.  ``GENERATORS`` maps each generator's name to its function for
+discovery (docs and CLI listings).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from ..api.scenario import TenantSpec
+from ..exceptions import ConfigurationError
+from ..workloads.generator import TRANSACTIONS_PER_CLIENT
+from ..workloads.tpcc import TPCC_MIX
+from ..workloads.units import CPU_UNIT_Q18_INSTANCES
+from ..workloads.workload import DEFAULT_MONITORING_INTERVAL_SECONDS
+from .model import TenantTrace, TraceEvent, WorkloadTrace
+
+TenantSpecLike = Union[TenantSpec, Mapping[str, Any]]
+
+
+def _coerce_specs(tenants: Sequence[TenantSpecLike]) -> Tuple[TenantSpec, ...]:
+    if not tenants:
+        raise ConfigurationError("a trace generator needs at least one tenant")
+    return tuple(
+        tenant if isinstance(tenant, TenantSpec) else TenantSpec.from_dict(tenant)
+        for tenant in tenants
+    )
+
+
+def _require_periods(n_periods: int) -> None:
+    if n_periods < 1:
+        raise ConfigurationError(f"n_periods must be at least 1, got {n_periods}")
+
+
+def _intensity_trace(
+    name: str,
+    specs: Tuple[TenantSpec, ...],
+    n_periods: int,
+    period_seconds: float,
+    intensity_of: Callable[[int, int], float],
+) -> WorkloadTrace:
+    """A trace whose events carry only per-period intensities.
+
+    ``intensity_of(tenant_index, period)`` gives the arrival-rate
+    multiplier for each (tenant, 1-based period); consecutive equal
+    intensities are collapsed into a single event.
+    """
+    tenants = []
+    for index, spec in enumerate(specs):
+        events = []
+        for period in range(1, n_periods + 1):
+            intensity = intensity_of(index, period)
+            if events and events[-1].intensity == intensity:
+                continue
+            events.append(
+                TraceEvent(
+                    time_seconds=(period - 1) * period_seconds, intensity=intensity
+                )
+            )
+        tenants.append(TenantTrace(spec=spec, events=tuple(events)))
+    return WorkloadTrace(
+        name=name,
+        tenants=tuple(tenants),
+        period_seconds=period_seconds,
+        n_periods=n_periods,
+    )
+
+
+def diurnal_trace(
+    tenants: Sequence[TenantSpecLike],
+    n_periods: int = 48,
+    period_seconds: float = DEFAULT_MONITORING_INTERVAL_SECONDS,
+    base_intensity: float = 1.0,
+    amplitude: float = 0.5,
+    cycle_periods: int = 48,
+    stagger_periods: float = 0.0,
+    name: str = "diurnal",
+) -> WorkloadTrace:
+    """Sinusoidal day/night intensity cycles.
+
+    Tenant ``i``'s intensity in period ``p`` is
+    ``base * (1 + amplitude * sin(2π (p - 1 + i·stagger) / cycle))`` —
+    one full cycle every ``cycle_periods`` periods (48 half-hour periods =
+    one day), with tenant ``i`` shifted ``i * stagger_periods`` periods.
+    """
+    _require_periods(n_periods)
+    if not 0.0 <= amplitude < 1.0:
+        raise ConfigurationError(
+            f"amplitude must be in [0, 1) so intensities stay positive, "
+            f"got {amplitude}"
+        )
+    if base_intensity <= 0:
+        raise ConfigurationError(
+            f"base_intensity must be positive, got {base_intensity}"
+        )
+    if cycle_periods < 1:
+        raise ConfigurationError(
+            f"cycle_periods must be at least 1, got {cycle_periods}"
+        )
+    specs = _coerce_specs(tenants)
+
+    def intensity_of(index: int, period: int) -> float:
+        phase = (period - 1 + index * stagger_periods) / cycle_periods
+        return base_intensity * (1.0 + amplitude * math.sin(2.0 * math.pi * phase))
+
+    return _intensity_trace(name, specs, n_periods, period_seconds, intensity_of)
+
+
+def ramp_trace(
+    tenants: Sequence[TenantSpecLike],
+    n_periods: int = 9,
+    period_seconds: float = DEFAULT_MONITORING_INTERVAL_SECONDS,
+    start_intensity: float = 1.0,
+    end_intensity: float = 4.0,
+    name: str = "ramp",
+) -> WorkloadTrace:
+    """Linear intensity ramp from ``start_intensity`` to ``end_intensity``.
+
+    With ``end < start`` the ramp decays; a one-period trace holds the
+    start intensity.  This is the §7.10 "one more workload unit every
+    period" drift in generator form.
+    """
+    _require_periods(n_periods)
+    if start_intensity <= 0 or end_intensity <= 0:
+        raise ConfigurationError("ramp intensities must be positive")
+    specs = _coerce_specs(tenants)
+    steps = max(1, n_periods - 1)
+
+    def intensity_of(index: int, period: int) -> float:
+        fraction = (period - 1) / steps
+        return start_intensity + (end_intensity - start_intensity) * fraction
+
+    return _intensity_trace(name, specs, n_periods, period_seconds, intensity_of)
+
+
+def spike_trace(
+    tenants: Sequence[TenantSpecLike],
+    spike_period: int,
+    n_periods: int = 9,
+    period_seconds: float = DEFAULT_MONITORING_INTERVAL_SECONDS,
+    base_intensity: float = 1.0,
+    magnitude: float = 5.0,
+    spike_tenants: Optional[Sequence[str]] = None,
+    name: str = "spike",
+) -> WorkloadTrace:
+    """Flat intensity with one flash-crowd period.
+
+    During ``spike_period`` the spiking tenants (all of them by default)
+    run at ``base_intensity * magnitude``; every other period runs at the
+    base intensity.
+    """
+    _require_periods(n_periods)
+    if not 1 <= spike_period <= n_periods:
+        raise ConfigurationError(
+            f"spike_period must be in [1, {n_periods}], got {spike_period}"
+        )
+    if base_intensity <= 0 or magnitude <= 0:
+        raise ConfigurationError("base_intensity and magnitude must be positive")
+    specs = _coerce_specs(tenants)
+    spiking = (
+        {spec.name for spec in specs}
+        if spike_tenants is None
+        else set(spike_tenants)
+    )
+    unknown = spiking - {spec.name for spec in specs}
+    if unknown:
+        raise ConfigurationError(
+            f"spike_tenants name(s) not in the tenant list: "
+            f"{', '.join(map(repr, sorted(unknown)))}"
+        )
+
+    def intensity_of(index: int, period: int) -> float:
+        if period == spike_period and specs[index].name in spiking:
+            return base_intensity * magnitude
+        return base_intensity
+
+    return _intensity_trace(name, specs, n_periods, period_seconds, intensity_of)
+
+
+def step_shift_trace(
+    tenants: Sequence[TenantSpecLike],
+    shift_period: int,
+    shifted_statements: Mapping[str, Sequence[Any]],
+    n_periods: int = 9,
+    period_seconds: float = DEFAULT_MONITORING_INTERVAL_SECONDS,
+    intensity: float = 1.0,
+    name: str = "step-shift",
+) -> WorkloadTrace:
+    """A one-off statement-mix change at ``shift_period``.
+
+    ``shifted_statements`` maps tenant names to the mix they serve from
+    the shift onward; unmapped tenants keep their base mix throughout.
+    Unlike an intensity change, a mix change moves the *average cost per
+    statement*, which is what the dynamic manager classifies as a major
+    change.
+    """
+    _require_periods(n_periods)
+    if not 1 <= shift_period <= n_periods:
+        raise ConfigurationError(
+            f"shift_period must be in [1, {n_periods}], got {shift_period}"
+        )
+    specs = _coerce_specs(tenants)
+    unknown = set(shifted_statements) - {spec.name for spec in specs}
+    if unknown:
+        raise ConfigurationError(
+            f"shifted_statements name(s) not in the tenant list: "
+            f"{', '.join(map(repr, sorted(unknown)))}"
+        )
+    shift_time = (shift_period - 1) * period_seconds
+    traced = []
+    for spec in specs:
+        events = []
+        if spec.name in shifted_statements:
+            events.append(
+                TraceEvent(
+                    time_seconds=shift_time,
+                    intensity=intensity,
+                    statements=tuple(shifted_statements[spec.name]),
+                )
+            )
+        traced.append(TenantTrace(spec=spec, events=tuple(events)))
+    return WorkloadTrace(
+        name=name,
+        tenants=tuple(traced),
+        period_seconds=period_seconds,
+        n_periods=n_periods,
+    )
+
+
+def tenant_swap_trace(
+    tenants: Sequence[TenantSpecLike],
+    swap_periods: Sequence[int],
+    n_periods: int = 9,
+    period_seconds: float = DEFAULT_MONITORING_INTERVAL_SECONDS,
+    intensity: float = 1.0,
+    name: str = "tenant-swap",
+) -> WorkloadTrace:
+    """Adjacent tenant pairs exchange their entire mixes at swap periods.
+
+    Tenants are paired in list order — (0, 1), (2, 3), ... — and at every
+    period in ``swap_periods`` each pair swaps statement mixes, benchmarks,
+    and scales (a trailing unpaired tenant is left alone).  Repeated swaps
+    toggle the pairs back.  This is the §7.10 "workloads switch virtual
+    machines" move: each tenant keeps its identity and machine, but what it
+    *serves* changes completely — a major change on both sides.
+    """
+    _require_periods(n_periods)
+    for period in swap_periods:
+        if not 1 <= period <= n_periods:
+            raise ConfigurationError(
+                f"swap period {period} outside [1, {n_periods}]"
+            )
+    if len(set(swap_periods)) != len(tuple(swap_periods)):
+        raise ConfigurationError("swap_periods must not repeat")
+    specs = _coerce_specs(tenants)
+    if len(specs) < 2:
+        raise ConfigurationError("tenant_swap_trace needs at least two tenants")
+    swaps = sorted(swap_periods)
+
+    def mix_of(spec: TenantSpec, time: float) -> TraceEvent:
+        # The full mix state of a spec, as the event in force from ``time``.
+        return TraceEvent(
+            time_seconds=time,
+            intensity=intensity,
+            statements=spec.statements,
+            benchmark=spec.benchmark,
+            scale=spec.scale,
+        )
+
+    events: Dict[int, list] = {index: [] for index in range(len(specs))}
+    # ``holding[i]`` is the index of the spec whose mix tenant i serves.
+    holding = list(range(len(specs)))
+    for period in swaps:
+        time = (period - 1) * period_seconds
+        for first in range(0, len(specs) - 1, 2):
+            second = first + 1
+            holding[first], holding[second] = holding[second], holding[first]
+            for slot in (first, second):
+                events[slot].append(mix_of(specs[holding[slot]], time))
+    traced = tuple(
+        TenantTrace(spec=spec, events=tuple(events[index]))
+        for index, spec in enumerate(specs)
+    )
+    return WorkloadTrace(
+        name=name,
+        tenants=traced,
+        period_seconds=period_seconds,
+        n_periods=n_periods,
+    )
+
+
+def sec710_schedule(
+    n_periods: int = 9,
+    switch_periods: Sequence[int] = (3, 7),
+    warehouses: int = 10,
+    tpch_scale: float = 1.0,
+    base_tpch_units: int = 2,
+    tpcc_warehouses_accessed: int = 8,
+    tpcc_clients: int = 10,
+    period_seconds: float = DEFAULT_MONITORING_INTERVAL_SECONDS,
+    name: str = "sec710",
+) -> WorkloadTrace:
+    """The paper's §7.10 dynamic-management schedule as a trace.
+
+    Two DB2 slots: ``vm1`` starts with a TPC-H mix (one C unit of
+    ``q18`` and one I unit of ``q21`` per workload unit, growing by one
+    unit every period — the minor, intensity-only drift), ``vm2`` with a
+    steady TPC-C mix (``tpcc_warehouses_accessed × tpcc_clients``
+    clients at the standard transaction mix).  At every period in
+    ``switch_periods`` the two slots exchange workloads (the major
+    change).  Replaying this trace reproduces the Figures 35–36
+    experiment period for period.
+    """
+    _require_periods(n_periods)
+    for period in switch_periods:
+        if not 1 <= period <= n_periods:
+            raise ConfigurationError(
+                f"switch period {period} outside [1, {n_periods}]"
+            )
+    tpch_statements = (
+        ("q18", CPU_UNIT_Q18_INSTANCES["db2"]),
+        ("q21", 1.0),
+    )
+    tpcc_statements = tuple(TPCC_MIX.items())
+    tpcc_intensity = (
+        tpcc_warehouses_accessed * tpcc_clients * TRANSACTIONS_PER_CLIENT
+    )
+    tpch_spec = TenantSpec(
+        name="vm1",
+        engine="db2",
+        benchmark="tpch",
+        scale=tpch_scale,
+        statements=tpch_statements,
+    )
+    tpcc_spec = TenantSpec(
+        name="vm2",
+        engine="db2",
+        benchmark="tpcc",
+        scale=float(warehouses),
+        statements=tpcc_statements,
+    )
+
+    def tpch_event(time: float, units: float) -> TraceEvent:
+        return TraceEvent(
+            time_seconds=time,
+            intensity=units,
+            statements=tpch_statements,
+            benchmark="tpch",
+            scale=tpch_scale,
+        )
+
+    def tpcc_event(time: float) -> TraceEvent:
+        return TraceEvent(
+            time_seconds=time,
+            intensity=tpcc_intensity,
+            statements=tpcc_statements,
+            benchmark="tpcc",
+            scale=float(warehouses),
+        )
+
+    events: Dict[str, list] = {"vm1": [], "vm2": []}
+    tpch_on_first = True
+    for period in range(1, n_periods + 1):
+        if period in switch_periods:
+            tpch_on_first = not tpch_on_first
+        time = (period - 1) * period_seconds
+        units = float(base_tpch_units + (period - 1))
+        tpch_slot, tpcc_slot = ("vm1", "vm2") if tpch_on_first else ("vm2", "vm1")
+        events[tpch_slot].append(tpch_event(time, units))
+        events[tpcc_slot].append(tpcc_event(time))
+    return WorkloadTrace(
+        name=name,
+        tenants=(
+            TenantTrace(spec=tpch_spec, events=tuple(events["vm1"])),
+            TenantTrace(spec=tpcc_spec, events=tuple(events["vm2"])),
+        ),
+        period_seconds=period_seconds,
+        n_periods=n_periods,
+    )
+
+
+#: Named generator registry (discovery for docs and the CLI).
+GENERATORS: Dict[str, Callable[..., WorkloadTrace]] = {
+    "diurnal": diurnal_trace,
+    "ramp": ramp_trace,
+    "spike": spike_trace,
+    "step-shift": step_shift_trace,
+    "tenant-swap": tenant_swap_trace,
+    "sec710": sec710_schedule,
+}

@@ -344,6 +344,59 @@ class TestCostCache:
         assert fresh.cost(0, allocation) == value
         assert fresh.evaluations == 0
 
+    def test_concurrent_access_keeps_counters_and_bound_sound(self):
+        # Regression test for thread safety: hammer one small cache (so the
+        # generational reset races the stores) from several threads and
+        # check no lookup is lost and the size bound holds throughout.
+        # This is the prerequisite for parallel per-machine fleet solves.
+        import threading
+        from types import SimpleNamespace
+
+        from repro.core.problem import ResourceAllocation
+
+        cache = CostCache(max_entries=64)
+        tenants = [
+            SimpleNamespace(workload=object(), calibration=object())
+            for _ in range(8)
+        ]
+        allocations = [
+            ResourceAllocation(cpu_share=0.05 + 0.05 * step, memory_fraction=0.5)
+            for step in range(16)
+        ]
+        n_threads, rounds = 8, 400
+        lookups_per_thread = rounds * 2  # one get before, one after each put
+        barrier = threading.Barrier(n_threads)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for step in range(rounds):
+                    tenant = tenants[(seed + step) % len(tenants)]
+                    allocation = allocations[(seed * 7 + step) % len(allocations)]
+                    cache.get("what-if", tenant, allocation)
+                    cache.put("what-if", tenant, allocation, float(step))
+                    value = cache.get("what-if", tenant, allocation)
+                    # A racing generational reset may evict the value, but a
+                    # present value must be a float some thread stored.
+                    assert value is None or isinstance(value, float)
+                    assert cache.size <= cache.max_entries
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every get() incremented exactly one of the two counters.
+        assert cache.hits + cache.misses == n_threads * lookups_per_thread
+        assert cache.size <= cache.max_entries
+
 
 class TestAdvisor:
     def test_repeated_recommend_performs_zero_new_evaluations(self, scenario, scenario_problem):

@@ -1,0 +1,140 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+#: Fast calibration for CLI-built problems (the scenario format carries it).
+FAST_CALIBRATION = {"cpu_shares": [0.25, 0.5, 0.75, 1.0]}
+
+SCENARIO = {
+    "name": "cli-scenario",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "advisor": {"delta": 0.25},
+    "tenants": [
+        {"name": "dss", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "scan", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+FLEET = {
+    "name": "cli-fleet",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "machines": [{"name": "m1"}, {"name": "m2"}],
+    "tenants": [
+        {"name": "t1", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "t2", "engine": "db2", "statements": [["q21", 1.0]]},
+        {"name": "t3", "engine": "db2", "statements": [["q18", 1.0]]},
+    ],
+}
+
+TRACE = {
+    "name": "cli-trace",
+    "n_periods": 2,
+    "tenants": [
+        {"name": "t1", "engine": "db2", "statements": [["q18", 2.0]],
+         "events": [{"time_seconds": 1800.0, "intensity": 2.0}]},
+        {"name": "t2", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+FLEET_FOR_TRACE = {
+    "name": "cli-trace-fleet",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "machines": [{"name": "m1"}, {"name": "m2"}],
+    "tenants": [
+        {"name": "t1", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "t2", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+
+def write(tmp_path, name, document):
+    path = tmp_path / name
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+def run(capsys, argv):
+    code = main(argv)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestRecommendCommand:
+    def test_emits_a_recommendation_report(self, tmp_path, capsys):
+        path = write(tmp_path, "scenario.json", SCENARIO)
+        code, out, err = run(capsys, ["recommend", path])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert {tenant["name"] for tenant in report["tenants"]} == {"dss", "scan"}
+        # The scenario's embedded advisor options are honoured.
+        assert report["provenance"]["options"]["delta"] == 0.25
+
+    def test_output_file(self, tmp_path, capsys):
+        path = write(tmp_path, "scenario.json", SCENARIO)
+        target = tmp_path / "report.json"
+        code, out, _ = run(capsys, ["recommend", path, "-o", str(target)])
+        assert code == 0 and out == ""
+        assert "recommendation" in json.loads(target.read_text())
+
+
+class TestFleetCommand:
+    def test_emits_a_fleet_report(self, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        code, out, err = run(capsys, ["fleet", path, "--placement", "round-robin"])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["strategy"] == "round-robin"
+        assert set(report["placement"]) == {"t1", "t2", "t3"}
+
+
+class TestReplayCommand:
+    def test_single_machine_replay(self, tmp_path, capsys):
+        path = write(tmp_path, "trace.json", TRACE)
+        code, out, err = run(capsys, ["replay", path, "--policy", "static"])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["mode"] == "single-machine"
+        assert report["policy"] == "static"
+        assert len(report["periods"]) == 2
+
+    def test_fleet_replay(self, tmp_path, capsys):
+        trace = write(tmp_path, "trace.json", TRACE)
+        fleet = write(tmp_path, "fleet.json", FLEET_FOR_TRACE)
+        code, out, err = run(capsys, ["replay", trace, "--fleet", fleet])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["mode"] == "fleet"
+        assert set(report["periods"][0]["placement"]) == {"t1", "t2"}
+
+
+class TestErrorHandling:
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        code, out, err = run(capsys, ["recommend", str(tmp_path / "absent.json")])
+        assert code == 2 and out == ""
+        assert "error:" in err
+
+    def test_invalid_document_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "bogus_key": 1}', encoding="utf-8")
+        code, _, err = run(capsys, ["replay", str(path)])
+        assert code == 2
+        assert "error:" in err
+
+    def test_unwritable_output_is_a_clean_error(self, tmp_path, capsys):
+        path = write(tmp_path, "scenario.json", SCENARIO)
+        code, out, err = run(
+            capsys,
+            ["recommend", path, "-o", str(tmp_path / "absent-dir" / "r.json")],
+        )
+        assert code == 2 and "error:" in err
+
+    def test_unknown_command_exits_via_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,480 @@
+"""Tests for the workload-trace subsystem (model, generators, replay)."""
+
+import pytest
+
+from repro.api.scenario import TenantSpec
+from repro.core.dynamic import DynamicConfigurationManager
+from repro.exceptions import ConfigurationError, PlacementError
+from repro.experiments.dynamic import (
+    dynamic_management_experiment,
+    reference_period_workloads,
+)
+from repro.experiments.harness import ExperimentContext
+from repro.fleet import FleetAdvisor, FleetProblem
+from repro.traces import (
+    FleetTraceReplayer,
+    GENERATORS,
+    ReplayReport,
+    TenantTrace,
+    TraceEvent,
+    TraceReplayer,
+    WorkloadTrace,
+    diurnal_trace,
+    ramp_trace,
+    sec710_schedule,
+    spike_trace,
+    step_shift_trace,
+    tenant_swap_trace,
+)
+
+SPEC_A = {"name": "a", "engine": "db2", "statements": [["q18", 2.0], ["q21", 1.0]]}
+SPEC_B = {"name": "b", "engine": "db2", "statements": [["q21", 3.0]]}
+
+
+@pytest.fixture(scope="module")
+def context(fast_calibration):
+    return ExperimentContext(calibration_settings=fast_calibration)
+
+
+def frequencies(spec: TenantSpec) -> dict:
+    return dict(spec.statements)
+
+
+# ----------------------------------------------------------------------
+# Data model
+# ----------------------------------------------------------------------
+class TestTraceModel:
+    def test_event_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent(time_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            TraceEvent(time_seconds=0.0, intensity=0.0)
+        with pytest.raises(ConfigurationError):
+            TraceEvent(time_seconds=0.0, statements=())
+        with pytest.raises(ConfigurationError):
+            TraceEvent.from_dict({"time_seconds": 0.0, "bogus": 1})
+        with pytest.raises(ConfigurationError):
+            TraceEvent.from_dict({"intensity": 1.0})
+
+    def test_events_must_increase_in_time(self):
+        with pytest.raises(ConfigurationError):
+            TenantTrace(
+                spec=SPEC_A,
+                events=(
+                    TraceEvent(time_seconds=100.0),
+                    TraceEvent(time_seconds=100.0),
+                ),
+            )
+
+    def test_state_before_first_event_is_the_base_spec(self):
+        trace = TenantTrace(
+            spec=SPEC_A, events=(TraceEvent(time_seconds=1800.0, intensity=2.0),)
+        )
+        assert trace.event_at(0.0) is None
+        assert trace.spec_at(0.0) == TenantSpec.from_dict(SPEC_A)
+
+    def test_event_scales_and_overrides(self):
+        trace = TenantTrace(
+            spec=SPEC_A,
+            events=(
+                TraceEvent(time_seconds=0.0, intensity=3.0),
+                TraceEvent(
+                    time_seconds=1800.0,
+                    intensity=2.0,
+                    statements=(("q17", 4.0),),
+                    benchmark="tpch",
+                    scale=10.0,
+                ),
+            ),
+        )
+        early = trace.spec_at(900.0)
+        assert frequencies(early) == {"q18": 6.0, "q21": 3.0}
+        late = trace.spec_at(1800.0)
+        assert frequencies(late) == {"q17": 8.0}
+        assert late.scale == 10.0
+        # Name, engine, and QoS settings never change.
+        assert late.name == "a" and late.engine == "db2"
+
+    def test_events_are_snapshots_not_cumulative(self):
+        # The second event leaves 'statements' unset: it falls back to the
+        # BASE mix, not to the first event's replacement mix.
+        trace = TenantTrace(
+            spec=SPEC_A,
+            events=(
+                TraceEvent(time_seconds=0.0, statements=(("q17", 1.0),)),
+                TraceEvent(time_seconds=1800.0, intensity=2.0),
+            ),
+        )
+        assert frequencies(trace.spec_at(1800.0)) == {"q18": 4.0, "q21": 2.0}
+
+    def test_n_periods_derived_from_last_event(self):
+        trace = WorkloadTrace(
+            name="t",
+            tenants=(
+                TenantTrace(
+                    spec=SPEC_A, events=(TraceEvent(time_seconds=3 * 1800.0),)
+                ),
+            ),
+        )
+        assert trace.n_periods == 4
+        assert trace.period_start(4) == 3 * 1800.0
+        with pytest.raises(ConfigurationError):
+            trace.period_start(5)
+
+    def test_duplicate_tenant_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace(name="t", tenants=(SPEC_A, SPEC_A), n_periods=1)
+
+    def test_json_round_trip(self):
+        trace = WorkloadTrace(
+            name="round-trip",
+            tenants=(
+                TenantTrace(
+                    spec=SPEC_A,
+                    events=(
+                        TraceEvent(time_seconds=0.0, intensity=2.0),
+                        TraceEvent(
+                            time_seconds=1800.0,
+                            statements=(("q17", 1.0),),
+                            benchmark="tpch",
+                            scale=2.0,
+                        ),
+                    ),
+                ),
+                TenantTrace(spec=SPEC_B),
+            ),
+            period_seconds=900.0,
+            n_periods=5,
+        )
+        assert WorkloadTrace.from_json(trace.to_json()) == trace
+        assert WorkloadTrace.from_dict(trace.to_dict()) == trace
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadTrace.from_dict({"name": "t", "tenant": []})
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+class TestGenerators:
+    def test_registry_names(self):
+        assert set(GENERATORS) == {
+            "diurnal", "ramp", "spike", "step-shift", "tenant-swap", "sec710",
+        }
+
+    def test_diurnal_shape(self):
+        trace = diurnal_trace(
+            [SPEC_A], n_periods=8, cycle_periods=8, amplitude=0.5
+        )
+        intensities = [
+            trace.specs_at_period(p).__getitem__(0).statements[0][1] / 2.0
+            for p in range(1, 9)
+        ]
+        # Positive everywhere, bounded by base*(1 ± amplitude).
+        assert all(0.5 - 1e-9 <= value <= 1.5 + 1e-9 for value in intensities)
+        # Period 1 sits at the base; the peak lands a quarter-cycle later.
+        assert intensities[0] == pytest.approx(1.0)
+        assert max(intensities) == pytest.approx(intensities[2])
+        with pytest.raises(ConfigurationError):
+            diurnal_trace([SPEC_A], amplitude=1.0)
+
+    def test_ramp_is_monotone(self):
+        trace = ramp_trace([SPEC_A], n_periods=5, start_intensity=1.0, end_intensity=3.0)
+        q18 = [
+            frequencies(trace.specs_at_period(p)[0])["q18"] for p in range(1, 6)
+        ]
+        assert q18 == sorted(q18)
+        assert q18[0] == pytest.approx(2.0) and q18[-1] == pytest.approx(6.0)
+
+    def test_spike_hits_exactly_one_period(self):
+        trace = spike_trace(
+            [SPEC_A, SPEC_B], spike_period=3, n_periods=5, magnitude=4.0,
+            spike_tenants=["a"],
+        )
+        for period in range(1, 6):
+            a, b = trace.specs_at_period(period)
+            expected = 8.0 if period == 3 else 2.0
+            assert frequencies(a)["q18"] == pytest.approx(expected)
+            assert frequencies(b)["q21"] == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            spike_trace([SPEC_A], spike_period=2, n_periods=5, spike_tenants=["nope"])
+
+    def test_step_shift_changes_the_mix_once(self):
+        trace = step_shift_trace(
+            [SPEC_A, SPEC_B],
+            shift_period=3,
+            shifted_statements={"a": [["q17", 5.0]]},
+            n_periods=4,
+        )
+        for period in range(1, 5):
+            a, b = trace.specs_at_period(period)
+            if period < 3:
+                assert frequencies(a) == {"q18": 2.0, "q21": 1.0}
+            else:
+                assert frequencies(a) == {"q17": 5.0}
+            assert frequencies(b) == {"q21": 3.0}
+
+    def test_tenant_swap_exchanges_mixes_and_toggles_back(self):
+        trace = tenant_swap_trace([SPEC_A, SPEC_B], swap_periods=(2, 4), n_periods=5)
+        base_a, base_b = frequencies(trace.specs_at_period(1)[0]), frequencies(
+            trace.specs_at_period(1)[1]
+        )
+        swapped_a = frequencies(trace.specs_at_period(2)[0])
+        swapped_b = frequencies(trace.specs_at_period(2)[1])
+        assert (swapped_a, swapped_b) == (base_b, base_a)
+        back_a = frequencies(trace.specs_at_period(4)[0])
+        assert back_a == base_a
+
+    def test_sec710_schedule_matches_the_paper_script(self):
+        trace = sec710_schedule()
+        assert trace.n_periods == 9
+        tpch_on_first = True
+        for period in range(1, 10):
+            if period in (3, 7):
+                tpch_on_first = not tpch_on_first
+            vm1, vm2 = trace.specs_at_period(period)
+            tpch, tpcc = (vm1, vm2) if tpch_on_first else (vm2, vm1)
+            assert tpch.benchmark == "tpch" and tpcc.benchmark == "tpcc"
+            units = 2 + (period - 1)
+            assert frequencies(tpch)["q18"] == pytest.approx(25.0 * units)
+            assert frequencies(tpch)["q21"] == pytest.approx(1.0 * units)
+            # 8 warehouses × 10 clients × 600 transactions, standard mix.
+            assert frequencies(tpcc)["new_order"] == pytest.approx(48000.0 * 0.45)
+
+
+# ----------------------------------------------------------------------
+# Single-machine replay
+# ----------------------------------------------------------------------
+class TestTraceReplayer:
+    def test_replay_matches_reference_dynamic_script(self, context):
+        """The trace-backed §7.10 replay reproduces the unit-composed script."""
+        n_periods, switches = 5, (3,)
+        trace = sec710_schedule(n_periods=n_periods, switch_periods=switches)
+        report = TraceReplayer(
+            trace, advisor=context.advisor, builder=context.builder
+        ).replay()
+
+        # Reference: the original experiment construction (workload units),
+        # driving the manager directly with raw estimators.
+        periods = reference_period_workloads(context, n_periods, switches)
+
+        def tenant_for(workload):
+            if "tpcc" in workload.name:
+                return context.tenant(workload, "db2", "tpcc", 10)
+            return context.tenant(workload, "db2", "tpch", 1.0)
+
+        first, second, _ = periods[0]
+        base = context.cpu_only_problem((tenant_for(first), tenant_for(second)))
+        manager = DynamicConfigurationManager(
+            base, enumerator=context.advisor.enumerator
+        )
+        manager.initial_recommendation()
+        for replayed, (one, two, _) in zip(report.periods, periods):
+            in_force = manager.current_allocations
+            decision = manager.process_period((tenant_for(one), tenant_for(two)))
+            assert (
+                replayed.change_classes["vm1"],
+                replayed.change_classes["vm2"],
+            ) == decision.change_classes
+            assert replayed.allocations["vm1"]["cpu_share"] == in_force[0].cpu_share
+            assert replayed.allocations["vm2"]["cpu_share"] == in_force[1].cpu_share
+
+    def test_experiment_wrapper_detects_switch_and_recovers(self, context):
+        result = dynamic_management_experiment(context, n_periods=4, switch_periods=(3,))
+        assert "major" in result.managed_periods[2].change_classes
+        assert result.managed_improvements()[2] < 0
+        assert result.managed_improvements()[3] > 0
+
+    def test_experiment_tolerates_switches_beyond_the_horizon(self, context):
+        # The original script silently ignored the default period-7 switch
+        # on short horizons; the trace-backed wrapper must keep doing so.
+        result = dynamic_management_experiment(context, n_periods=3)
+        assert result.switch_periods == (3, 7)
+        assert len(result.managed_periods) == 3
+
+    def test_repeated_replay_is_fully_cached(self, context):
+        trace = sec710_schedule(n_periods=3, switch_periods=(2,))
+        first = TraceReplayer(
+            trace, advisor=context.advisor, builder=context.builder
+        ).replay()
+        second = TraceReplayer(
+            trace, advisor=context.advisor, builder=context.builder
+        ).replay()
+        assert second.cost_stats.evaluations == 0
+        assert second.cost_stats.cache_hits > 0
+        assert second.cumulative_actual_cost == first.cumulative_actual_cost
+
+    def test_policies_rank_as_expected(self, context):
+        trace = sec710_schedule(n_periods=5, switch_periods=(3,))
+
+        def run(policy):
+            return TraceReplayer(
+                trace, advisor=context.advisor, builder=context.builder,
+                policy=policy,
+            ).replay()
+
+        dynamic = run("dynamic")
+        static = run("static")
+        assert dynamic.cumulative_actual_cost < static.cumulative_actual_cost
+        assert static.periods[0].change_classes == {}
+        with pytest.raises(ConfigurationError):
+            run("bogus")
+
+    def test_report_round_trips_via_json(self, context):
+        trace = sec710_schedule(n_periods=2, switch_periods=(2,))
+        report = TraceReplayer(
+            trace, advisor=context.advisor, builder=context.builder
+        ).replay()
+        assert ReplayReport.from_json(report.to_json()) == report
+
+
+# ----------------------------------------------------------------------
+# Fleet replay + incremental re-placement
+# ----------------------------------------------------------------------
+SWAP_TENANTS = [
+    {"name": "heavy-1", "engine": "db2",
+     "statements": [["q18", 30.0], ["q21", 1.0]], "gain_factor": 2.0},
+    {"name": "light-1", "engine": "db2", "statements": [["q21", 1.0]]},
+    {"name": "heavy-2", "engine": "postgresql",
+     "statements": [["q18", 24.0]], "gain_factor": 2.0},
+    {"name": "light-2", "engine": "postgresql", "statements": [["q17", 1.0]]},
+]
+
+
+@pytest.fixture(scope="module")
+def swap_fleet():
+    return FleetProblem(
+        tenants=SWAP_TENANTS,
+        machines=[
+            {"name": "m1"},
+            {"name": "m2", "cpu_work_units_per_second": 4_000_000.0,
+             "memory_mb": 16384.0},
+        ],
+        resources=["cpu"],
+        name="swap-fleet",
+    )
+
+
+@pytest.fixture(scope="module")
+def swap_trace():
+    return tenant_swap_trace(SWAP_TENANTS, swap_periods=(3,), n_periods=5)
+
+
+@pytest.fixture(scope="module")
+def fleet_advisor():
+    return FleetAdvisor(delta=0.2)
+
+
+class TestFleetTraceReplayer:
+    def test_requires_cpu_only_fleet(self, swap_trace):
+        fleet = FleetProblem(
+            tenants=SWAP_TENANTS, machines=[{"name": "m1"}], name="multi"
+        )
+        with pytest.raises(ConfigurationError):
+            FleetTraceReplayer(swap_trace, fleet)
+
+    def test_tenant_names_must_match(self, swap_fleet):
+        trace = tenant_swap_trace([SPEC_A, SPEC_B], swap_periods=(2,), n_periods=3)
+        with pytest.raises(ConfigurationError):
+            FleetTraceReplayer(trace, swap_fleet)
+
+    def test_dynamic_beats_static_and_replaces_on_major(
+        self, swap_trace, swap_fleet, fleet_advisor
+    ):
+        dynamic = FleetTraceReplayer(
+            swap_trace, swap_fleet, advisor=fleet_advisor
+        ).replay()
+        static = FleetTraceReplayer(
+            swap_trace, swap_fleet, advisor=fleet_advisor, policy="static"
+        ).replay()
+        assert dynamic.mode == "fleet"
+        assert dynamic.cumulative_actual_cost < static.cumulative_actual_cost
+        # The swap period is classified major and triggers a re-placement.
+        swap = dynamic.periods[2]
+        assert "major" in swap.change_classes.values()
+        assert dynamic.replacements == (3,)
+        # Every period places every tenant on a real machine.
+        machine_names = set(swap_fleet.machine_names())
+        for period in dynamic.periods:
+            assert set(period.placement) == set(swap_fleet.tenant_names())
+            assert set(period.placement.values()) <= machine_names
+
+    def test_repeated_fleet_replay_is_fully_cached(
+        self, swap_trace, swap_fleet, fleet_advisor
+    ):
+        first = FleetTraceReplayer(
+            swap_trace, swap_fleet, advisor=fleet_advisor
+        ).replay()
+        repeat = FleetTraceReplayer(
+            swap_trace, swap_fleet, advisor=fleet_advisor
+        ).replay()
+        assert repeat.cost_stats.evaluations == 0
+        assert repeat.cumulative_actual_cost == first.cumulative_actual_cost
+
+    def test_continuous_policy_never_replaces(
+        self, swap_trace, swap_fleet, fleet_advisor
+    ):
+        report = FleetTraceReplayer(
+            swap_trace, swap_fleet, advisor=fleet_advisor, policy="continuous"
+        ).replay()
+        assert report.replacements == ()
+
+
+class TestIncrementalReplacement:
+    def test_pinned_tenants_stay_put(self, swap_fleet, fleet_advisor):
+        full = fleet_advisor.recommend(swap_fleet)
+        moved = ["heavy-1"]
+        incremental = fleet_advisor.recommend_incremental(
+            swap_fleet, full, moved=moved
+        )
+        assert incremental.strategy == "incremental"
+        for name in swap_fleet.tenant_names():
+            if name not in moved:
+                assert incremental.placement[name] == full.placement[name]
+
+    def test_unlisted_tenants_are_treated_as_moved(self, swap_fleet, fleet_advisor):
+        full = fleet_advisor.recommend(swap_fleet)
+        partial = {
+            name: machine
+            for name, machine in full.placement.items()
+            if name != "light-2"
+        }
+        report = fleet_advisor.recommend_incremental(swap_fleet, partial)
+        assert set(report.placement) == set(swap_fleet.tenant_names())
+
+    def test_unknown_moved_name_rejected(self, swap_fleet, fleet_advisor):
+        full = fleet_advisor.recommend(swap_fleet)
+        with pytest.raises(ConfigurationError):
+            fleet_advisor.recommend_incremental(swap_fleet, full, moved=["nope"])
+
+    def test_unknown_machine_in_previous_rejected(self, swap_fleet, fleet_advisor):
+        with pytest.raises(ConfigurationError):
+            fleet_advisor.recommend_incremental(
+                swap_fleet,
+                {name: "mars" for name in swap_fleet.tenant_names()},
+            )
+
+    def test_repeat_incremental_is_fully_cached(self, swap_fleet, fleet_advisor):
+        full = fleet_advisor.recommend(swap_fleet)
+        fleet_advisor.recommend_incremental(swap_fleet, full, moved=["heavy-2"])
+        repeat = fleet_advisor.recommend_incremental(
+            swap_fleet, full, moved=["heavy-2"]
+        )
+        assert repeat.cost_stats.evaluations == 0
+
+    def test_overloaded_pinned_machine_is_reported(self, fleet_advisor):
+        fleet = FleetProblem(
+            tenants=[
+                {"name": "t1", "engine": "db2", "statements": [["q18", 1.0]],
+                 "memory_demand_mb": 6000.0},
+                {"name": "t2", "engine": "db2", "statements": [["q21", 1.0]],
+                 "memory_demand_mb": 6000.0},
+            ],
+            machines=[{"name": "m1"}, {"name": "m2"}],
+            resources=["cpu"],
+        )
+        with pytest.raises(PlacementError):
+            fleet_advisor.recommend_incremental(
+                fleet, {"t1": "m1", "t2": "m1"}
+            )
