@@ -23,7 +23,11 @@ The package provides:
   :class:`~repro.traces.WorkloadTrace`\\ s, synthetic trace generators, and
   :class:`~repro.traces.TraceReplayer` /
   :class:`~repro.traces.FleetTraceReplayer` driving dynamic reconfiguration
-  and incremental fleet re-placement (:mod:`repro.traces`), and
+  and incremental fleet re-placement (:mod:`repro.traces`),
+* the parallel solver-execution subsystem — pluggable ``serial`` /
+  ``thread`` / ``process`` backends fanning independent per-machine solves
+  out while returning the serial answer bit for bit (:mod:`repro.parallel`),
+  and
 * the experiment harness reproducing every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
@@ -83,6 +87,14 @@ from .fleet import (
     FleetTenant,
     Machine,
 )
+from .parallel import (
+    BACKENDS,
+    ProcessBackend,
+    SerialBackend,
+    SolverBackend,
+    ThreadBackend,
+    resolve_backend,
+)
 from .traces import (
     FleetTraceReplayer,
     ReplayReport,
@@ -92,11 +104,12 @@ from .traces import (
 from .virt import Hypervisor, PhysicalMachine
 from .workloads import Workload, tpcc_database, tpcc_transactions, tpch_database, tpch_queries
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ActualCostFunction",
     "Advisor",
+    "BACKENDS",
     "CalibrationSettings",
     "ConsolidatedWorkload",
     "DB2Engine",
@@ -110,12 +123,16 @@ __all__ = [
     "PhysicalMachine",
     "PostgreSQLEngine",
     "ProblemBuilder",
+    "ProcessBackend",
     "Recommendation",
     "RecommendationReport",
     "ReplayReport",
     "ResourceAllocation",
     "Scenario",
+    "SerialBackend",
+    "SolverBackend",
     "TenantSpec",
+    "ThreadBackend",
     "TraceReplayer",
     "UNLIMITED_DEGRADATION",
     "VirtualizationDesignAdvisor",
@@ -125,6 +142,7 @@ __all__ = [
     "WorkloadTrace",
     "calibrate_engine",
     "quickstart_problem",
+    "resolve_backend",
     "tpcc_database",
     "tpcc_transactions",
     "tpch_database",

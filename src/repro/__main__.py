@@ -15,10 +15,16 @@ document and writing the corresponding JSON report to stdout (or a file):
   across a fleet with ``--fleet fleet.json`` (``--policy`` selects
   dynamic / continuous / static).
 
+The ``fleet`` and ``replay`` subcommands accept ``--backend`` /
+``--jobs`` to fan independent per-machine solves out on a solver-execution
+backend (``serial`` / ``thread`` / ``process``); every backend returns the
+serial answer, and the emitted report records which backend produced it.
+
 Examples::
 
     python -m repro recommend scenario.json --indent 2
     python -m repro fleet fleet.json --placement round-robin -o report.json
+    python -m repro fleet fleet.json --backend thread --jobs 4
     python -m repro replay trace.json --fleet fleet.json --policy static
 """
 
@@ -33,6 +39,7 @@ from typing import List, Optional
 from .api import Advisor, Scenario
 from .exceptions import ReproError
 from .fleet import PLACEMENTS, FleetAdvisor, FleetProblem
+from .parallel import BACKENDS
 from .traces import POLICIES, POLICY_DYNAMIC, FleetTraceReplayer, TraceReplayer, WorkloadTrace
 
 
@@ -46,6 +53,24 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_backend_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--backend",
+            default="serial",
+            choices=sorted(BACKENDS.names()),
+            help=(
+                "solver-execution backend for independent per-machine "
+                "solves (default: serial; every backend returns the serial "
+                "answer — the report records which one produced it)"
+            ),
+        )
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker count for the chosen backend (default: per-backend)",
+        )
 
     def add_output_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
@@ -82,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(PLACEMENTS.names()),
         help="placement strategy (default: greedy-cost)",
     )
+    add_backend_options(fleet)
     add_output_options(fleet)
 
     replay = commands.add_parser(
@@ -105,6 +131,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=POLICIES,
         help="replay policy (default: dynamic)",
     )
+    add_backend_options(replay)
     add_output_options(replay)
 
     return parser
@@ -130,17 +157,31 @@ def _run_recommend(args: argparse.Namespace) -> str:
 
 def _run_fleet(args: argparse.Namespace) -> str:
     problem = FleetProblem.from_json(_read(args.fleet))
-    report = FleetAdvisor(placement=args.placement).recommend(problem)
+    advisor = FleetAdvisor(
+        placement=args.placement, backend=args.backend, jobs=args.jobs
+    )
+    try:
+        report = advisor.recommend(problem)
+    finally:
+        advisor.backend.close()
     return report.to_json(indent=args.indent)
 
 
 def _run_replay(args: argparse.Namespace) -> str:
     trace = WorkloadTrace.from_json(_read(args.trace))
     if args.fleet is None:
-        report = TraceReplayer(trace, policy=args.policy).replay()
+        replayer = TraceReplayer(
+            trace, policy=args.policy, backend=args.backend, jobs=args.jobs
+        )
     else:
         fleet = FleetProblem.from_json(_read(args.fleet))
-        report = FleetTraceReplayer(trace, fleet, policy=args.policy).replay()
+        replayer = FleetTraceReplayer(
+            trace, fleet, policy=args.policy, backend=args.backend, jobs=args.jobs
+        )
+    try:
+        report = replayer.replay()
+    finally:
+        replayer.backend.close()
     return report.to_json(indent=args.indent)
 
 

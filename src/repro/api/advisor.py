@@ -28,6 +28,7 @@ repeated fleet recommendation evaluates nothing new).
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple, Union
@@ -119,6 +120,12 @@ class Advisor:
         self._cost_functions: "OrderedDict[Tuple[int, str], Tuple[VirtualizationDesignProblem, CachedCostFunction]]" = (
             OrderedDict()
         )
+        #: Guards the two memos above.  Concurrent per-machine solves (the
+        #: thread solver backend) share one advisor; without the lock two
+        #: threads could race the check-then-create and hand out *different*
+        #: wrapped cost functions for one problem, splitting its cache
+        #: identity.  The lock is never held during a cost evaluation.
+        self._memo_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Strategy resolution
@@ -184,17 +191,18 @@ class Advisor:
                 )
             return CachedCostFunction(problem, spec, CostCache())
         memo_key = (id(problem), spec)
-        memoized = self._cost_functions.get(memo_key)
-        if memoized is not None and memoized[0] is problem:
-            self._cost_functions.move_to_end(memo_key)
-            return memoized[1]
-        inner = COST_FUNCTIONS.create(spec, problem=problem)
-        cache = self._shared_caches.setdefault(spec, CostCache())
-        wrapped = CachedCostFunction(problem, inner, cache)
-        self._cost_functions[memo_key] = (problem, wrapped)
-        while len(self._cost_functions) > _DEFAULT_PROBLEM_MEMO_SIZE:
-            self._cost_functions.popitem(last=False)
-        return wrapped
+        with self._memo_lock:
+            memoized = self._cost_functions.get(memo_key)
+            if memoized is not None and memoized[0] is problem:
+                self._cost_functions.move_to_end(memo_key)
+                return memoized[1]
+            inner = COST_FUNCTIONS.create(spec, problem=problem)
+            cache = self._shared_caches.setdefault(spec, CostCache())
+            wrapped = CachedCostFunction(problem, inner, cache)
+            self._cost_functions[memo_key] = (problem, wrapped)
+            while len(self._cost_functions) > _DEFAULT_PROBLEM_MEMO_SIZE:
+                self._cost_functions.popitem(last=False)
+            return wrapped
 
     def _grid_enumerator(self) -> EnumerationStrategy:
         """An enumerator with the delta/min_share grid attributes.
@@ -215,9 +223,50 @@ class Advisor:
 
     def clear_caches(self) -> None:
         """Drop all shared cost caches and per-problem wrappers."""
-        for cache in self._shared_caches.values():
-            cache.clear()
-        self._cost_functions.clear()
+        with self._memo_lock:
+            for cache in self._shared_caches.values():
+                cache.clear()
+            self._cost_functions.clear()
+
+    def portable_config(self) -> Dict[str, Any]:
+        """The advisor's configuration as a picklable keyword dictionary.
+
+        ``Advisor(**advisor.portable_config())`` builds an equivalent
+        advisor in another process — the contract the process solver
+        backend relies on to rebuild solve state from a task payload.
+        Only registry *names* travel; an advisor configured with strategy
+        instances cannot be shipped and is rejected with a pointer at the
+        thread backend (which shares the instances in-process).
+        """
+        if not isinstance(self._cost_function_spec, str):
+            raise ConfigurationError(
+                "this advisor uses a cost-function instance, which cannot be "
+                "shipped to worker processes; use a registered cost-function "
+                "name, or the thread/serial backend"
+            )
+        if self._cost_function_spec not in COST_FUNCTIONS:
+            raise ConfigurationError(
+                f"this advisor's cost function "
+                f"({self._cost_function_spec!r}) is not a registered strategy "
+                f"name, so it cannot be shipped to worker processes; register "
+                f"it first, or use the thread/serial backend"
+            )
+        if self._enumerator_name not in ENUMERATORS:
+            raise ConfigurationError(
+                f"this advisor's enumerator ({self._enumerator_name}) is not "
+                f"a registered strategy name, so it cannot be shipped to "
+                f"worker processes; use a registered enumerator name, or the "
+                f"thread/serial backend"
+            )
+        return {
+            "enumerator": self._enumerator_name,
+            "cost_function": self._cost_function_spec,
+            "refinement": self._refinement_spec,
+            "delta": self.delta,
+            "min_share": self.min_share,
+            "max_iterations": self.max_iterations,
+            "max_combinations": self.max_combinations,
+        }
 
     def cache_stats(self) -> CostCallStats:
         """Aggregate traffic of the shared cost caches.
@@ -228,8 +277,10 @@ class Advisor:
         Long-running drivers (trace replay, fleets) difference two
         snapshots to report what one run actually evaluated.
         """
-        hits = sum(cache.hits for cache in self._shared_caches.values())
-        misses = sum(cache.misses for cache in self._shared_caches.values())
+        with self._memo_lock:
+            caches = list(self._shared_caches.values())
+        hits = sum(cache.hits for cache in caches)
+        misses = sum(cache.misses for cache in caches)
         return CostCallStats(evaluations=misses, cache_hits=hits, cache_misses=misses)
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ is a one-time, per-DBMS, per-machine step).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -127,6 +128,16 @@ class ProblemBuilder:
         self._consolidated_memo: "OrderedDict[Tuple, ConsolidatedWorkload]" = (
             OrderedDict()
         )
+        #: Guards every cache above.  Concurrent per-machine solves (the
+        #: thread solver backend) materialize tenants through one builder;
+        #: the reentrant lock keeps check-then-create chains (consolidated →
+        #: queries → database, calibration → engine → database) atomic so
+        #: equal specs always resolve to the *same* workload object — the
+        #: identity the shared cost cache answers for.  Calibration runs
+        #: under the lock: it is the one-time per-(engine, machine) step,
+        #: and running it twice concurrently would waste far more than the
+        #: serialization costs.
+        self._cache_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Machine / calibration / resource configuration
@@ -218,17 +229,18 @@ class ProblemBuilder:
     ) -> Database:
         """The (cached) database catalog for one engine/benchmark/scale."""
         key = self._key(engine, benchmark, scale, database_name)
-        if key not in self._databases:
-            name = database_name or f"{benchmark}_{engine}_{scale:g}"
-            if benchmark == "tpch":
-                self._databases[key] = tpch_database(scale, name=name)
-            elif benchmark == "tpcc":
-                self._databases[key] = tpcc_database(int(scale), name=name)
-            else:
-                raise ConfigurationError(
-                    f"unknown benchmark {benchmark!r}; expected 'tpch' or 'tpcc'"
-                )
-        return self._databases[key]
+        with self._cache_lock:
+            if key not in self._databases:
+                name = database_name or f"{benchmark}_{engine}_{scale:g}"
+                if benchmark == "tpch":
+                    self._databases[key] = tpch_database(scale, name=name)
+                elif benchmark == "tpcc":
+                    self._databases[key] = tpcc_database(int(scale), name=name)
+                else:
+                    raise ConfigurationError(
+                        f"unknown benchmark {benchmark!r}; expected 'tpch' or 'tpcc'"
+                    )
+            return self._databases[key]
 
     def engine(
         self,
@@ -239,17 +251,18 @@ class ProblemBuilder:
     ) -> DatabaseEngine:
         """The (cached) engine instance for one engine/benchmark/scale."""
         key = self._key(engine, benchmark, scale, database_name)
-        if key not in self._engines:
-            database = self.database(engine, benchmark, scale, database_name)
-            if engine == "postgresql":
-                self._engines[key] = PostgreSQLEngine(database)
-            elif engine == "db2":
-                self._engines[key] = DB2Engine(database)
-            else:
-                raise ConfigurationError(
-                    f"unknown engine {engine!r}; expected 'postgresql' or 'db2'"
-                )
-        return self._engines[key]
+        with self._cache_lock:
+            if key not in self._engines:
+                database = self.database(engine, benchmark, scale, database_name)
+                if engine == "postgresql":
+                    self._engines[key] = PostgreSQLEngine(database)
+                elif engine == "db2":
+                    self._engines[key] = DB2Engine(database)
+                else:
+                    raise ConfigurationError(
+                        f"unknown engine {engine!r}; expected 'postgresql' or 'db2'"
+                    )
+            return self._engines[key]
 
     def calibration(
         self,
@@ -260,13 +273,14 @@ class ProblemBuilder:
     ) -> EngineCalibration:
         """The (cached) calibration of one engine on the builder's machine."""
         key = self._key(engine, benchmark, scale, database_name)
-        if key not in self._calibrations:
-            self._calibrations[key] = calibrate_engine(
-                self.engine(engine, benchmark, scale, database_name),
-                self.machine,
-                self.calibration_settings,
-            )
-        return self._calibrations[key]
+        with self._cache_lock:
+            if key not in self._calibrations:
+                self._calibrations[key] = calibrate_engine(
+                    self.engine(engine, benchmark, scale, database_name),
+                    self.machine,
+                    self.calibration_settings,
+                )
+            return self._calibrations[key]
 
     def queries(
         self,
@@ -277,13 +291,14 @@ class ProblemBuilder:
     ) -> Dict[str, QuerySpec]:
         """The (cached) query/transaction templates for one database."""
         key = self._key(engine, benchmark, scale, database_name)
-        if key not in self._queries:
-            database = self.database(engine, benchmark, scale, database_name)
-            if benchmark == "tpch":
-                self._queries[key] = tpch_queries(database)
-            else:
-                self._queries[key] = tpcc_transactions(database)
-        return self._queries[key]
+        with self._cache_lock:
+            if key not in self._queries:
+                database = self.database(engine, benchmark, scale, database_name)
+                if benchmark == "tpch":
+                    self._queries[key] = tpch_queries(database)
+                else:
+                    self._queries[key] = tpcc_transactions(database)
+            return self._queries[key]
 
     # ------------------------------------------------------------------
     # Tenants
@@ -360,7 +375,9 @@ class ProblemBuilder:
 
         Materializations are memoized by the spec's value, so asking for an
         equal spec again returns the *same* consolidated workload object
-        (and therefore the same shared-cost-cache identity).
+        (and therefore the same shared-cost-cache identity) — including
+        from concurrent solver-backend threads, which the memo's lock keeps
+        from materializing one spec twice.
         """
         limit = getattr(spec, "degradation_limit", None)
         gain = getattr(spec, "gain_factor", 1.0)
@@ -373,31 +390,32 @@ class ProblemBuilder:
             limit,
             gain,
         )
-        memoized = self._consolidated_memo.get(memo_key)
-        if memoized is not None:
-            self._consolidated_memo.move_to_end(memo_key)
-            return memoized
-        templates = self.queries(spec.engine, spec.benchmark, spec.scale)
-        statements: List[WorkloadStatement] = []
-        for query_name, frequency in spec.statements:
-            if query_name not in templates:
-                raise ConfigurationError(
-                    f"tenant {spec.name!r} references unknown query "
-                    f"{query_name!r}; available: {', '.join(sorted(templates))}"
+        with self._cache_lock:
+            memoized = self._consolidated_memo.get(memo_key)
+            if memoized is not None:
+                self._consolidated_memo.move_to_end(memo_key)
+                return memoized
+            templates = self.queries(spec.engine, spec.benchmark, spec.scale)
+            statements: List[WorkloadStatement] = []
+            for query_name, frequency in spec.statements:
+                if query_name not in templates:
+                    raise ConfigurationError(
+                        f"tenant {spec.name!r} references unknown query "
+                        f"{query_name!r}; available: {', '.join(sorted(templates))}"
+                    )
+                statements.append(
+                    WorkloadStatement(query=templates[query_name], frequency=frequency)
                 )
-            statements.append(
-                WorkloadStatement(query=templates[query_name], frequency=frequency)
+            consolidated = ConsolidatedWorkload(
+                workload=Workload(name=spec.name, statements=tuple(statements)),
+                calibration=self.calibration(spec.engine, spec.benchmark, spec.scale),
+                degradation_limit=UNLIMITED_DEGRADATION if limit is None else limit,
+                gain_factor=gain,
             )
-        consolidated = ConsolidatedWorkload(
-            workload=Workload(name=spec.name, statements=tuple(statements)),
-            calibration=self.calibration(spec.engine, spec.benchmark, spec.scale),
-            degradation_limit=UNLIMITED_DEGRADATION if limit is None else limit,
-            gain_factor=gain,
-        )
-        self._consolidated_memo[memo_key] = consolidated
-        while len(self._consolidated_memo) > _CONSOLIDATED_MEMO_SIZE:
-            self._consolidated_memo.popitem(last=False)
-        return consolidated
+            self._consolidated_memo[memo_key] = consolidated
+            while len(self._consolidated_memo) > _CONSOLIDATED_MEMO_SIZE:
+                self._consolidated_memo.popitem(last=False)
+            return consolidated
 
     def clear_tenants(self) -> "ProblemBuilder":
         """Drop the tenants added so far (calibration caches are kept)."""

@@ -267,6 +267,24 @@ class RecommendationReport:
         """The report as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The recommendation's *answer*, stripped of run artifacts.
+
+        Two runs that made the same decision — same allocations, costs,
+        degradations, and strategies — have equal canonical dictionaries
+        even if they took different wall-clock time or hit the shared cost
+        cache differently (``wall_time_seconds``, ``cost_stats``, and the
+        cache-state-dependent ``cost_calls`` counter are dropped).  This is
+        the determinism contract of the parallel solver backends: every
+        backend must produce the serial backend's canonical dictionary,
+        bit for bit.
+        """
+        data = self.to_dict()
+        data.pop("cost_stats", None)
+        data.pop("wall_time_seconds", None)
+        data["recommendation"].pop("cost_calls", None)
+        return data
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RecommendationReport":
         """Rebuild a report from its dictionary form (inverse of to_dict).

@@ -33,6 +33,25 @@ from .problem import ResourceAllocation, VirtualizationDesignProblem
 _CACHE_DECIMALS = 6
 
 
+def quantize_allocation(allocation: ResourceAllocation) -> ResourceAllocation:
+    """The allocation rounded to cache-key precision.
+
+    Every cost function evaluates the *quantized* allocation, so a cost
+    value is a pure function of the cache key it is stored under.  Without
+    this, a cache could return the value of a ±1-ulp sibling allocation
+    (keys round to :data:`_CACHE_DECIMALS`, raw floats carry ±delta
+    arithmetic noise) and the low-order bits of an answer would depend on
+    cache *history* — e.g. on whether an earlier solve warmed the cache,
+    or on which parallel solver backend ran it.  Quantizing at the
+    evaluation boundary makes cached and uncached runs bit-identical.
+    """
+    cpu = round(allocation.cpu_share, _CACHE_DECIMALS)
+    memory = round(allocation.memory_fraction, _CACHE_DECIMALS)
+    if cpu == allocation.cpu_share and memory == allocation.memory_fraction:
+        return allocation
+    return ResourceAllocation(cpu_share=cpu, memory_fraction=memory)
+
+
 class CostFunction(ABC):
     """``Cost(W_i, R_i)`` in seconds, for the tenants of one problem."""
 
@@ -58,7 +77,7 @@ class CostFunction(ABC):
         if not 0 <= tenant_index < self.problem.n_workloads:
             raise EstimationError(f"tenant index {tenant_index} out of range")
         self.call_count += 1
-        value = self._cost(tenant_index, allocation)
+        value = self._cost(tenant_index, quantize_allocation(allocation))
         if value < 0:
             raise EstimationError(
                 f"cost function returned a negative cost ({value}) for tenant "
@@ -80,7 +99,7 @@ class CostFunction(ABC):
         """
         if not 0 <= tenant_index < self.problem.n_workloads:
             raise EstimationError(f"tenant index {tenant_index} out of range")
-        allocations = list(allocations)
+        allocations = [quantize_allocation(allocation) for allocation in allocations]
         self.call_count += len(allocations)
         values = self._cost_many(tenant_index, allocations)
         for value in values:

@@ -31,10 +31,13 @@ per-machine solve through the inner advisor's shared
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+import threading
 import time
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..api.advisor import Advisor
 from ..api.builder import ProblemBuilder
@@ -42,6 +45,14 @@ from ..api.report import CostCallStats, RecommendationReport
 from ..calibration import CalibrationSettings
 from ..core.problem import ConsolidatedWorkload, VirtualizationDesignProblem
 from ..exceptions import ConfigurationError, OptimizationError, PlacementError
+from ..parallel import worker as _worker
+from ..parallel.backends import (
+    BACKENDS,
+    BackendSpec,
+    SolveTask,
+    SolverBackend,
+    resolve_backend,
+)
 from .problem import FleetProblem, Machine, Placement
 from .report import FleetReport, MachineReport
 from .strategies import PLACEMENTS, PlacementStrategy, greedy_assign
@@ -75,12 +86,28 @@ class _FleetSolver:
     return the *same* problem object and hit the inner advisor's caches),
     solves them with the shared :class:`~repro.api.Advisor`, and keeps the
     aggregated cost-call statistics of everything the run asked for.
+
+    Independent solves fan out through the run's
+    :class:`~repro.parallel.backends.SolverBackend` (:meth:`machine_costs`
+    for placement probes, :meth:`solve_many` for committed machines);
+    results are always reassembled in submission order, so every backend
+    returns the serial answer.
     """
 
-    def __init__(self, fleet_advisor: "FleetAdvisor", problem: FleetProblem) -> None:
+    def __init__(
+        self,
+        fleet_advisor: "FleetAdvisor",
+        problem: FleetProblem,
+        backend: Optional[SolverBackend] = None,
+    ) -> None:
         self.fleet_advisor = fleet_advisor
         self.problem = problem
+        self.backend = backend if backend is not None else resolve_backend(None)
         self.stats = CostCallStats(evaluations=0, cache_hits=0, cache_misses=0)
+        self._stats_lock = threading.Lock()
+        #: Shared pieces of the process-backend task payloads, built on
+        #: first use (they require a fully *portable* advisor config).
+        self._portable_base: Optional[Dict[str, Any]] = None
         # The bound must come from the enumerator that will actually divide
         # the machine: an instance-supplied enumerator may use a coarser
         # min_share than the advisor-level knob, and grid searches quantize
@@ -122,6 +149,22 @@ class _FleetSolver:
             return math.inf
         return weighted
 
+    def machine_costs(
+        self, candidates: Sequence[Tuple[int, Tuple[int, ...]]]
+    ) -> List[float]:
+        """Price several candidate co-locations, fanned out on the backend.
+
+        ``candidates`` is a sequence of ``(machine_index, tenant_indices)``
+        pairs; the returned costs align with it.  On the serial backend
+        this is exactly a loop of :meth:`machine_cost` calls, so answers
+        (and tie-breaks downstream) are identical across backends.
+        """
+        tasks = [
+            self._task(machine_index, tenant_indices, probe=True)
+            for machine_index, tenant_indices in candidates
+        ]
+        return self.backend.run(tasks)
+
     # ------------------------------------------------------------------
     # Per-machine solves
     # ------------------------------------------------------------------
@@ -138,12 +181,104 @@ class _FleetSolver:
         machine = self.problem.machines[machine_index]
         design = self.fleet_advisor._design_problem(self.problem, machine, ordered)
         report = self.fleet_advisor.advisor.recommend(design)
-        self.stats = self.stats + report.cost_stats
+        self._add_stats(report.cost_stats)
         weighted = sum(
             tenant.gain_factor * cost
             for tenant, cost in zip(design.tenants, report.per_workload_costs)
         )
         return report, weighted
+
+    def solve_many(
+        self, targets: Sequence[Tuple[int, Tuple[int, ...]]]
+    ) -> List[Tuple[RecommendationReport, float]]:
+        """Solve several machines' divisions, fanned out on the backend."""
+        tasks = [
+            self._task(machine_index, tenant_indices, probe=False)
+            for machine_index, tenant_indices in targets
+        ]
+        return self.backend.run(tasks)
+
+    # ------------------------------------------------------------------
+    # Backend plumbing
+    # ------------------------------------------------------------------
+    def _add_stats(self, stats: CostCallStats) -> None:
+        with self._stats_lock:
+            self.stats = self.stats + stats
+
+    def _task(
+        self, machine_index: int, tenant_indices: Tuple[int, ...], probe: bool
+    ) -> SolveTask:
+        """One solve/probe as a backend task (portable when it can be)."""
+        machine_name = self.problem.machines[machine_index].name
+        if probe:
+            call = lambda: self.machine_cost(machine_index, tenant_indices)  # noqa: E731
+            worker_fn: Any = _worker.probe_machine
+            reassemble: Any = self._reassemble_probe
+        else:
+            call = lambda: self.solve(machine_index, tenant_indices)  # noqa: E731
+            worker_fn = _worker.solve_machine
+            reassemble = self._reassemble_solve
+        payload: Optional[Dict[str, Any]] = None
+        if getattr(self.backend, "requires_portable_tasks", False):
+            payload = {
+                **self._portable(),
+                "machine_index": machine_index,
+                "tenant_indices": tuple(sorted(tenant_indices)),
+            }
+        return SolveTask(
+            call=call,
+            worker=worker_fn if payload is not None else None,
+            payload=payload,
+            reassemble=reassemble,
+            label=f"{'probe' if probe else 'solve'}:{machine_name}",
+        )
+
+    def _portable(self) -> Dict[str, Any]:
+        """Shared payload pieces; also publishes fork-inheritable state.
+
+        The run *token* is a value digest of (problem, advisor config), so
+        equal runs share worker-side state and unequal runs can never
+        collide.  Raises :class:`~repro.exceptions.ConfigurationError` with
+        the actual blocker when the inner advisor cannot be shipped (e.g.
+        it was configured with strategy instances).
+        """
+        if self._portable_base is None:
+            config = self.fleet_advisor.advisor.portable_config()
+            problem_dict = self.problem.to_dict()
+            token = hashlib.sha1(
+                json.dumps(
+                    {"problem": problem_dict, "advisor": config}, sort_keys=True
+                ).encode("utf-8")
+            ).hexdigest()
+            _worker.publish_state(token, self.fleet_advisor, self.problem)
+            self._portable_base = {
+                "token": token,
+                "problem": problem_dict,
+                "advisor": config,
+            }
+        return self._portable_base
+
+    def release(self) -> None:
+        """Withdraw fork-published state once the run is over.
+
+        Workers that already forked keep their own memoized copy (keyed by
+        the run token), so withdrawing only drops the parent-side pin that
+        would otherwise keep the advisor and problem alive in
+        :mod:`repro.parallel.worker` after the run.
+        """
+        if self._portable_base is not None:
+            _worker.withdraw_state(self._portable_base["token"])
+
+    def _reassemble_probe(self, raw: Mapping[str, Any]) -> float:
+        if raw["stats"] is not None:
+            self._add_stats(CostCallStats.from_dict(raw["stats"]))
+        return math.inf if raw["weighted"] is None else raw["weighted"]
+
+    def _reassemble_solve(
+        self, raw: Mapping[str, Any]
+    ) -> Tuple[RecommendationReport, float]:
+        self._add_stats(CostCallStats.from_dict(raw["stats"]))
+        return RecommendationReport.from_dict(raw["report"]), raw["weighted"]
 
 
 class FleetAdvisor:
@@ -157,6 +292,14 @@ class FleetAdvisor:
         advisor: the per-machine :class:`~repro.api.Advisor` to delegate
             division to; built from ``advisor_options`` when omitted
             (e.g. ``FleetAdvisor(enumerator="exhaustive-dp", delta=0.1)``).
+        backend: the solver-execution backend independent per-machine
+            solves and placement probes fan out on — a name registered in
+            :data:`~repro.parallel.backends.BACKENDS` (``"serial"``,
+            ``"thread"``, ``"process"``) or a
+            :class:`~repro.parallel.backends.SolverBackend` instance.
+            Every backend returns the serial answer (see
+            :meth:`~repro.fleet.report.FleetReport.canonical_dict`).
+        jobs: worker count for a backend given by name.
         advisor_options: keyword arguments for the inner advisor when one
             is not supplied.
     """
@@ -165,6 +308,8 @@ class FleetAdvisor:
         self,
         placement: PlacementSpec = "greedy-cost",
         advisor: Optional[Advisor] = None,
+        backend: BackendSpec = "serial",
+        jobs: Optional[int] = None,
         **advisor_options: Any,
     ) -> None:
         if advisor is not None and advisor_options:
@@ -173,6 +318,7 @@ class FleetAdvisor:
                 "arguments, not both"
             )
         self.advisor = advisor if advisor is not None else Advisor(**advisor_options)
+        self.backend = resolve_backend(backend, jobs)
         self.placement = placement  # property: resolves names, tracks provenance
         #: One calibrated builder per distinct hardware shape (+ overrides).
         self._builders: Dict[_BuilderKey, ProblemBuilder] = {}
@@ -186,6 +332,13 @@ class FleetAdvisor:
         self._problem_memo: "OrderedDict[Any, VirtualizationDesignProblem]" = (
             OrderedDict()
         )
+        #: Guards the builder map and both memos.  Concurrent per-machine
+        #: solves (thread backend) materialize problems through one fleet
+        #: advisor; the reentrant lock keeps the check-then-create chains
+        #: (problem memo → tenant memo → builder) atomic so value-equal
+        #: requests always return the *same* objects — the identity the
+        #: shared cost cache answers for.
+        self._memo_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Strategy resolution
@@ -227,17 +380,18 @@ class FleetAdvisor:
         matter how many of them the fleet contains.
         """
         key = self._builder_key(machine, problem)
-        builder = self._builders.get(key)
-        if builder is None:
-            physical = machine.physical()
-            settings = (
-                CalibrationSettings(**problem.calibration)
-                if problem.calibration
-                else None
-            )
-            builder = ProblemBuilder(machine=physical, calibration_settings=settings)
-            self._builders[key] = builder
-        return builder
+        with self._memo_lock:
+            builder = self._builders.get(key)
+            if builder is None:
+                physical = machine.physical()
+                settings = (
+                    CalibrationSettings(**problem.calibration)
+                    if problem.calibration
+                    else None
+                )
+                builder = ProblemBuilder(machine=physical, calibration_settings=settings)
+                self._builders[key] = builder
+            return builder
 
     def _consolidated(
         self, problem: FleetProblem, machine: Machine, tenant_index: int
@@ -245,16 +399,17 @@ class FleetAdvisor:
         """The (memoized) consolidated workload of one tenant on one hardware."""
         tenant = problem.tenants[tenant_index]
         key = (self._builder_key(machine, problem), tenant.spec)
-        memoized = self._tenant_memo.get(key)
-        if memoized is not None:
-            self._tenant_memo.move_to_end(key)
-            return memoized
-        builder = self._builder_for(machine, problem)
-        consolidated = builder.consolidated(tenant.spec)
-        self._tenant_memo[key] = consolidated
-        while len(self._tenant_memo) > _TENANT_MEMO_SIZE:
-            self._tenant_memo.popitem(last=False)
-        return consolidated
+        with self._memo_lock:
+            memoized = self._tenant_memo.get(key)
+            if memoized is not None:
+                self._tenant_memo.move_to_end(key)
+                return memoized
+            builder = self._builder_for(machine, problem)
+            consolidated = builder.consolidated(tenant.spec)
+            self._tenant_memo[key] = consolidated
+            while len(self._tenant_memo) > _TENANT_MEMO_SIZE:
+                self._tenant_memo.popitem(last=False)
+            return consolidated
 
     def _design_problem(
         self,
@@ -270,22 +425,23 @@ class FleetAdvisor:
             problem.resources,
             problem.fixed_memory_fraction,
         )
-        memoized = self._problem_memo.get(key)
-        if memoized is not None:
-            self._problem_memo.move_to_end(key)
-            return memoized
-        tenants = tuple(
-            self._consolidated(problem, machine, index) for index in tenant_indices
-        )
-        design = VirtualizationDesignProblem(
-            tenants=tenants,
-            resources=problem.resources,
-            fixed_memory_fraction=problem.fixed_memory_fraction,
-        )
-        self._problem_memo[key] = design
-        while len(self._problem_memo) > _PROBLEM_MEMO_SIZE:
-            self._problem_memo.popitem(last=False)
-        return design
+        with self._memo_lock:
+            memoized = self._problem_memo.get(key)
+            if memoized is not None:
+                self._problem_memo.move_to_end(key)
+                return memoized
+            tenants = tuple(
+                self._consolidated(problem, machine, index) for index in tenant_indices
+            )
+            design = VirtualizationDesignProblem(
+                tenants=tenants,
+                resources=problem.resources,
+                fixed_memory_fraction=problem.fixed_memory_fraction,
+            )
+            self._problem_memo[key] = design
+            while len(self._problem_memo) > _PROBLEM_MEMO_SIZE:
+                self._problem_memo.popitem(last=False)
+            return design
 
     def machine_problem(
         self,
@@ -306,10 +462,42 @@ class FleetAdvisor:
 
     def clear_caches(self) -> None:
         """Drop the calibrated builders, memoized problems, and cost caches."""
-        self._builders.clear()
-        self._tenant_memo.clear()
-        self._problem_memo.clear()
+        with self._memo_lock:
+            self._builders.clear()
+            self._tenant_memo.clear()
+            self._problem_memo.clear()
         self.advisor.clear_caches()
+
+    # ------------------------------------------------------------------
+    # Backend resolution
+    # ------------------------------------------------------------------
+    def _resolve_run_backend(
+        self, backend: Optional[BackendSpec], jobs: Optional[int]
+    ) -> Tuple[SolverBackend, bool]:
+        """The backend one call runs on, and whether this call owns it.
+
+        A per-call override (name or instance) is resolved fresh; a backend
+        this advisor created from a *name* for one call is closed when the
+        call finishes (it may hold worker processes), which the ``owned``
+        flag signals to the caller.
+        """
+        if backend is None and jobs is None:
+            return self.backend, False
+        if backend is None:
+            # A jobs-only override re-creates the advisor's backend at the
+            # requested width, which is only possible when that backend
+            # came from the registry; a custom instance must be re-supplied
+            # (its constructor, not its name, knows how to size it).
+            name = getattr(self.backend, "name", None)
+            if not isinstance(name, str) or name not in BACKENDS:
+                raise ConfigurationError(
+                    f"jobs={jobs} alone cannot resize this advisor's custom "
+                    f"backend ({type(self.backend).__name__}); pass a backend "
+                    f"instance configured with the desired worker count"
+                )
+            backend = name
+        resolved = resolve_backend(backend, jobs)
+        return resolved, isinstance(backend, str)
 
     # ------------------------------------------------------------------
     # Fleet recommendation
@@ -318,29 +506,44 @@ class FleetAdvisor:
         self,
         problem: FleetProblem,
         placement: Optional[PlacementSpec] = None,
+        backend: Optional[BackendSpec] = None,
+        jobs: Optional[int] = None,
     ) -> FleetReport:
         """Place every tenant and configure every machine of the fleet.
 
         ``placement`` overrides the advisor-level strategy for this call
         only (e.g. ``recommend(problem, placement="round-robin")`` for a
-        baseline comparison over the same calibrations and caches).
+        baseline comparison over the same calibrations and caches);
+        ``backend`` / ``jobs`` likewise override the solver-execution
+        backend for this call (``recommend(problem, backend="thread",
+        jobs=4)``).  Whatever the backend, the report's *answer* is
+        bit-identical to the serial one (``canonical_dict()``); only
+        wall-clock time and cache-traffic accounting may differ.
         """
         started = time.perf_counter()
-        solver = _FleetSolver(self, problem)
-        if placement is None:
-            strategy, strategy_name = self._placement, self._placement_name
-        else:
-            strategy = self._resolve_placement(placement)
-            strategy_name = _placement_name(placement)
-        assignment = strategy.place(problem, solver)
-        placed = Placement(problem, assignment, strategy=strategy_name)
-        return self._finalize(problem, solver, placed, strategy_name, started)
+        run_backend, owned = self._resolve_run_backend(backend, jobs)
+        solver = _FleetSolver(self, problem, run_backend)
+        try:
+            if placement is None:
+                strategy, strategy_name = self._placement, self._placement_name
+            else:
+                strategy = self._resolve_placement(placement)
+                strategy_name = _placement_name(placement)
+            assignment = strategy.place(problem, solver)
+            placed = Placement(problem, assignment, strategy=strategy_name)
+            return self._finalize(problem, solver, placed, strategy_name, started)
+        finally:
+            solver.release()
+            if owned:
+                run_backend.close()
 
     def recommend_incremental(
         self,
         problem: FleetProblem,
         previous: Union[FleetReport, Placement, Mapping[str, str]],
         moved: Optional[Iterable[str]] = None,
+        backend: Optional[BackendSpec] = None,
+        jobs: Optional[int] = None,
     ) -> FleetReport:
         """Re-place only the changed tenants of an already-placed fleet.
 
@@ -356,10 +559,30 @@ class FleetAdvisor:
         workloads did not change are re-priced entirely from the cache:
         only the moved tenants (and the machines they leave or join) cost
         new evaluations, which is what makes trace-driven re-placement
-        cheap to run every monitoring period.
+        cheap to run every monitoring period.  ``backend`` / ``jobs``
+        override the solver-execution backend for this call, as in
+        :meth:`recommend`.
         """
         started = time.perf_counter()
-        solver = _FleetSolver(self, problem)
+        run_backend, owned = self._resolve_run_backend(backend, jobs)
+        solver = _FleetSolver(self, problem, run_backend)
+        try:
+            return self._recommend_incremental(
+                problem, previous, moved, solver, started
+            )
+        finally:
+            solver.release()
+            if owned:
+                run_backend.close()
+
+    def _recommend_incremental(
+        self,
+        problem: FleetProblem,
+        previous: Union[FleetReport, Placement, Mapping[str, str]],
+        moved: Optional[Iterable[str]],
+        solver: _FleetSolver,
+        started: float,
+    ) -> FleetReport:
         if isinstance(previous, FleetReport):
             mapping: Mapping[str, str] = previous.placement
         elif isinstance(previous, Placement):
@@ -402,9 +625,17 @@ class FleetAdvisor:
                     f"{', '.join(map(repr, kept))}: capacity exceeded; "
                     f"add the overflowing tenants to 'moved'"
                 )
-        current_cost = [
-            solver.machine_cost(machine_index, tuple(pinned)) if pinned else 0.0
+        occupied = [
+            (machine_index, tuple(pinned))
             for machine_index, pinned in enumerate(loads)
+            if pinned
+        ]
+        occupied_costs = dict(
+            zip((index for index, _ in occupied), solver.machine_costs(occupied))
+        )
+        current_cost = [
+            occupied_costs.get(machine_index, 0.0)
+            for machine_index in range(problem.n_machines)
         ]
         order = sorted(
             (index for index, slot in enumerate(assignment) if slot is None),
@@ -422,20 +653,37 @@ class FleetAdvisor:
         strategy_name: str,
         started: float,
     ) -> FleetReport:
-        """Solve every machine of a committed placement and assemble the report."""
+        """Solve every machine of a committed placement and assemble the report.
+
+        The committed per-machine solves are independent, so they fan out
+        on the run's backend; machine reports are reassembled in machine
+        order, keeping the report layout identical across backends.
+        """
+        occupied = [
+            (machine_index, placed.tenants_on(machine_index))
+            for machine_index in range(problem.n_machines)
+            if placed.tenants_on(machine_index)
+        ]
+        solved = dict(
+            zip(
+                (index for index, _ in occupied),
+                solver.solve_many(occupied),
+            )
+        )
+
         machine_reports: List[MachineReport] = []
         total_cost = 0.0
         total_weighted = 0.0
         for machine_index, machine in enumerate(problem.machines):
-            tenant_indices = placed.tenants_on(machine_index)
-            if not tenant_indices:
+            if machine_index not in solved:
                 machine_reports.append(
                     MachineReport(
                         machine=machine, tenants=(), report=None, weighted_cost=0.0
                     )
                 )
                 continue
-            report, weighted = solver.solve(machine_index, tenant_indices)
+            report, weighted = solved[machine_index]
+            tenant_indices = placed.tenants_on(machine_index)
             names = tuple(problem.tenants[index].name for index in tenant_indices)
             machine_reports.append(
                 MachineReport(
@@ -457,4 +705,6 @@ class FleetAdvisor:
             total_weighted_cost=total_weighted,
             cost_stats=solver.stats,
             wall_time_seconds=time.perf_counter() - started,
+            backend=getattr(solver.backend, "name", type(solver.backend).__name__),
+            jobs=solver.backend.jobs,
         )

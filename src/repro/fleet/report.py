@@ -52,6 +52,15 @@ class MachineReport:
             "report": None if self.report is None else self.report.to_dict(),
         }
 
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The machine's answer with run artifacts stripped (see FleetReport)."""
+        return {
+            "machine": self.machine.to_dict(),
+            "tenants": list(self.tenants),
+            "weighted_cost": self.weighted_cost,
+            "report": None if self.report is None else self.report.canonical_dict(),
+        }
+
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MachineReport":
         """Rebuild a machine report from its dictionary form."""
@@ -79,7 +88,15 @@ class FleetReport:
             over all machines — what ``"greedy-cost"`` placement minimizes.
         cost_stats: aggregated cost-call accounting across every
             per-machine solve of the run (placement probes included).
+            Under a concurrent backend, overlapping solves may attribute
+            shared-cache traffic to several machines at once, so treat
+            these numbers as indicative there; the answer itself is
+            backend-invariant (see :meth:`canonical_dict`).
         wall_time_seconds: wall-clock time of the whole recommendation.
+        backend: the solver-execution backend that produced the report
+            (``"serial"`` / ``"thread"`` / ``"process"``, or a custom
+            backend's name) — provenance, not part of the answer.
+        jobs: the backend's worker count.
     """
 
     fleet_name: str
@@ -90,6 +107,8 @@ class FleetReport:
     total_weighted_cost: float
     cost_stats: CostCallStats
     wall_time_seconds: float
+    backend: str = "serial"
+    jobs: int = 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -136,6 +155,27 @@ class FleetReport:
             "total_weighted_cost": self.total_weighted_cost,
             "cost_stats": self.cost_stats.to_dict(),
             "wall_time_seconds": self.wall_time_seconds,
+            "backend": self.backend,
+            "jobs": self.jobs,
+        }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The fleet answer, stripped of run artifacts and provenance.
+
+        The determinism contract of the parallel solver-execution
+        subsystem: for any backend,
+        ``recommend(problem, backend=b).canonical_dict()`` equals the
+        serial backend's, bit for bit.  Wall-clock time, cache-traffic
+        statistics, and the backend/jobs provenance are dropped; the
+        placement, every machine's division, and every cost are kept.
+        """
+        return {
+            "fleet_name": self.fleet_name,
+            "strategy": self.strategy,
+            "placement": dict(self.placement),
+            "machines": [machine.canonical_dict() for machine in self.machines],
+            "total_cost": self.total_cost,
+            "total_weighted_cost": self.total_weighted_cost,
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -156,6 +196,8 @@ class FleetReport:
             total_weighted_cost=data["total_weighted_cost"],
             cost_stats=CostCallStats.from_dict(data["cost_stats"]),
             wall_time_seconds=data["wall_time_seconds"],
+            backend=data.get("backend", "serial"),
+            jobs=data.get("jobs", 1),
         )
 
     @classmethod

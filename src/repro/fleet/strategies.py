@@ -30,7 +30,7 @@ co-locations, keeping strategies free of calibration and advisor plumbing.
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Tuple, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..api.strategies import StrategyRegistry
 from ..exceptions import PlacementError
@@ -54,6 +54,18 @@ class PlacementSolver(Protocol):
         self, machine_index: int, tenant_indices: Tuple[int, ...]
     ) -> float:
         """Gain-weighted cost of a machine after the advisor divides it."""
+        ...
+
+    def machine_costs(
+        self, candidates: "Sequence[Tuple[int, Tuple[int, ...]]]"
+    ) -> List[float]:
+        """Price several candidate co-locations at once.
+
+        The fleet advisor's solver fans the batch out on the run's
+        solver-execution backend; results align with ``candidates``.
+        Strategy helpers fall back to :meth:`machine_cost` loops when a
+        custom solver does not provide this method.
+        """
         ...
 
 
@@ -169,24 +181,36 @@ def greedy_assign(
     lower-index machine).  All three state arguments are mutated in place;
     the completed assignment is returned.
     """
+    batch_costs = getattr(solver, "machine_costs", None)
     for tenant_index in order:
+        # The candidate machines of one tenant are priced as a batch: on a
+        # parallel solver backend the probes fan out, and because costs
+        # come back aligned with the (ascending-machine-index) candidate
+        # list, the selection below — including the 1e-12 tie-break toward
+        # the lower-index machine — is identical to the serial loop's.
+        fitting: List[Tuple[int, Tuple[int, ...]]] = []
+        for machine_index in range(problem.n_machines):
+            candidate = tuple(loads[machine_index] + [tenant_index])
+            if solver.fits(machine_index, candidate):
+                fitting.append((machine_index, candidate))
+        if batch_costs is not None:
+            costs = batch_costs(fitting)
+        else:
+            costs = [
+                solver.machine_cost(machine_index, candidate)
+                for machine_index, candidate in fitting
+            ]
         best_machine: Optional[int] = None
         best_increase = float("inf")
         best_cost = 0.0
-        any_capacity_fit = False
-        for machine_index in range(problem.n_machines):
-            candidate = tuple(loads[machine_index] + [tenant_index])
-            if not solver.fits(machine_index, candidate):
-                continue
-            any_capacity_fit = True
-            cost = solver.machine_cost(machine_index, candidate)
+        for (machine_index, _candidate), cost in zip(fitting, costs):
             increase = cost - current_cost[machine_index]
             if increase < best_increase - 1e-12:
                 best_machine = machine_index
                 best_increase = increase
                 best_cost = cost
         if best_machine is None:
-            raise _unplaceable(problem, tenant_index, qos_blocked=any_capacity_fit)
+            raise _unplaceable(problem, tenant_index, qos_blocked=bool(fitting))
         loads[best_machine].append(tenant_index)
         current_cost[best_machine] = best_cost
         assignment[tenant_index] = best_machine

@@ -1,0 +1,147 @@
+"""Process-side execution of portable solve tasks.
+
+The :class:`~repro.parallel.backends.ProcessBackend` ships each task as a
+picklable *payload*; the worker functions here turn a payload back into a
+real solve.  Payloads are fully self-describing — the fleet problem's
+JSON-safe dictionary plus the advisor's portable configuration — so a
+worker can always rebuild the solve state from scratch.  Two layers keep
+that rebuild from being paid per task:
+
+* **Fork inheritance.** Before submitting, the parent publishes its live
+  solve state (the :class:`~repro.fleet.FleetAdvisor` and
+  :class:`~repro.fleet.FleetProblem`) under the run's *token* via
+  :func:`publish_state`.  On platforms whose process pools fork (Linux),
+  workers inherit the published objects — calibrations included — and use
+  them directly.
+* **Worker-side memoization.** Whatever a worker had to build (or
+  inherited) is cached under the token in a worker-global table, so one
+  worker rebuilds at most once per run token no matter how many tasks it
+  executes, and repeated runs over the same (advisor, problem) pair reuse
+  the state, cost caches and all.
+
+Results are plain dictionaries of floats and report dictionaries —
+picklable by construction — and each carries the cost-call statistics the
+solve generated *in the worker*, which the parent merges into its own
+accounting on reassembly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+#: Live state published by the parent for fork inheritance:
+#: token → (fleet_advisor, fleet_problem).
+_PUBLISHED: Dict[str, Tuple[Any, Any]] = {}
+
+#: Worker-side state actually used to solve, keyed by run token.  In a
+#: forked worker this starts as a copy of ``_PUBLISHED``-resolved state;
+#: in a spawned worker it is rebuilt from payloads on demand.
+_STATE: Dict[str, Tuple[Any, Any]] = {}
+
+#: Rebuilt fleet advisors keyed by advisor *configuration* (not by run
+#: token).  A :class:`~repro.fleet.FleetAdvisor` is problem-agnostic — the
+#: problem travels as a method argument — while holding the expensive
+#: state (calibrated builders, cost caches), so a trace replay that mints
+#: a new token per period (the problem dict changes every period) still
+#: calibrates each hardware shape once per worker, not once per period.
+_ADVISORS: Dict[Tuple[Tuple[str, Any], ...], Any] = {}
+
+#: Bound on retained per-token states in a long-lived worker; tokens are
+#: per (advisor, problem) pair, so this is generous.
+_MAX_STATES = 8
+
+
+def publish_state(token: str, fleet_advisor: Any, problem: Any) -> None:
+    """Publish live solve state for fork-inheriting workers (parent side).
+
+    Bounded like the worker-side table: tokens are value digests, so
+    dropping an old entry only costs a worker the fork shortcut (it will
+    rebuild from the payload), never correctness.
+    """
+    while len(_PUBLISHED) >= _MAX_STATES:
+        _PUBLISHED.pop(next(iter(_PUBLISHED)))
+    _PUBLISHED[token] = (fleet_advisor, problem)
+
+
+def withdraw_state(token: str) -> None:
+    """Remove previously published state (parent side; idempotent)."""
+    _PUBLISHED.pop(token, None)
+
+
+def _rebuild(payload: Dict[str, Any]) -> Tuple[Any, Any]:
+    """Build solve state from a payload's self-description.
+
+    The problem is cheap data (``FleetProblem.from_dict``); the fleet
+    advisor carries the calibrations and caches, so it is memoized by its
+    portable configuration and shared across tokens.
+    """
+    # Imported lazily: this module is imported by repro.parallel's package
+    # __init__, which the fleet package itself imports.
+    from ..api.advisor import Advisor
+    from ..fleet.advisor import FleetAdvisor
+    from ..fleet.problem import FleetProblem
+
+    problem = FleetProblem.from_dict(payload["problem"])
+    config = tuple(sorted(payload["advisor"].items()))
+    fleet_advisor = _ADVISORS.get(config)
+    if fleet_advisor is None:
+        fleet_advisor = FleetAdvisor(advisor=Advisor(**payload["advisor"]))
+        while len(_ADVISORS) >= _MAX_STATES:
+            _ADVISORS.pop(next(iter(_ADVISORS)))
+        _ADVISORS[config] = fleet_advisor
+    return fleet_advisor, problem
+
+
+def _resolve_state(payload: Dict[str, Any]) -> Tuple[Any, Any]:
+    """The (fleet_advisor, problem) pair for a payload's run token."""
+    token = payload["token"]
+    state = _STATE.get(token)
+    if state is None:
+        state = _PUBLISHED.get(token)  # inherited over fork
+        if state is None:
+            state = _rebuild(payload)
+        while len(_STATE) >= _MAX_STATES:
+            _STATE.pop(next(iter(_STATE)))
+        _STATE[token] = state
+    return state
+
+
+def _solve(payload: Dict[str, Any]) -> Tuple[Any, float, Any]:
+    """Shared solve body: divide one machine among a tenant set."""
+    fleet_advisor, problem = _resolve_state(payload)
+    machine_index = payload["machine_index"]
+    indices = tuple(payload["tenant_indices"])
+    design = fleet_advisor.machine_problem(problem, machine_index, indices)
+    report = fleet_advisor.advisor.recommend(design)
+    weighted = sum(
+        tenant.gain_factor * cost
+        for tenant, cost in zip(design.tenants, report.per_workload_costs)
+    )
+    return report, weighted, report.cost_stats
+
+
+def solve_machine(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: full per-machine solve → report + stats."""
+    report, weighted, stats = _solve(payload)
+    return {
+        "report": report.to_dict(),
+        "weighted": weighted,
+        "stats": stats.to_dict(),
+    }
+
+
+def probe_machine(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: placement probe → weighted cost + stats.
+
+    A co-location no allocation can make feasible prices as ``None``
+    (reassembled to ``+inf`` by the caller), mirroring the serial
+    :meth:`~repro.fleet.advisor._FleetSolver.machine_cost` contract.  The
+    report itself is not shipped back — probes only need the number.
+    """
+    from ..exceptions import OptimizationError
+
+    try:
+        _report, weighted, stats = _solve(payload)
+    except OptimizationError:
+        return {"weighted": None, "stats": None}
+    return {"weighted": weighted, "stats": stats.to_dict()}

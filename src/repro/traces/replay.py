@@ -58,6 +58,7 @@ from ..fleet.advisor import FleetAdvisor
 from ..fleet.problem import FleetProblem, FleetTenant
 from ..monitoring.metrics import relative_improvement
 from ..monitoring.monitor import CHANGE_MAJOR
+from ..parallel.backends import BackendSpec, SolveTask, SolverBackend, resolve_backend
 from .model import WorkloadTrace
 
 #: Replay policies.
@@ -94,6 +95,18 @@ def _stats_delta(before: CostCallStats, after: CostCallStats) -> CostCallStats:
         cache_hits=after.cache_hits - before.cache_hits,
         cache_misses=after.cache_misses - before.cache_misses,
     )
+
+
+def _step_backend(backend: SolverBackend) -> SolverBackend:
+    """The backend a replayer's *manager steps* run on.
+
+    Dynamic-manager steps carry mutable in-process state, so they cannot
+    ship across processes; a process backend delegates them to its
+    same-width thread fallback (``inline()``), while serial and thread
+    backends run them directly.
+    """
+    inline = getattr(backend, "inline", None)
+    return inline() if callable(inline) else backend
 
 
 @dataclass(frozen=True)
@@ -172,6 +185,10 @@ class ReplayReport:
             equal cache misses; 0 evaluations ⇒ the replay was answered
             entirely from the cache).
         wall_time_seconds: wall-clock time of the replay.
+        backend: the solver-execution backend the replay was requested on
+            (provenance; stateful manager steps run on a process backend's
+            thread fallback).
+        jobs: the backend's worker count.
     """
 
     trace_name: str
@@ -180,6 +197,8 @@ class ReplayReport:
     periods: Tuple[ReplayPeriod, ...]
     cost_stats: CostCallStats
     wall_time_seconds: float
+    backend: str = "serial"
+    jobs: int = 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -220,6 +239,25 @@ class ReplayReport:
             "periods": [period.to_dict() for period in self.periods],
             "cost_stats": self.cost_stats.to_dict(),
             "wall_time_seconds": self.wall_time_seconds,
+            "backend": self.backend,
+            "jobs": self.jobs,
+        }
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """The replay's *decisions*, stripped of run artifacts.
+
+        The determinism contract of the parallel solver backends, replay
+        edition: every backend produces the serial backend's periods —
+        placements, allocations, change classes, and costs — bit for bit.
+        Wall-clock time, cache-traffic statistics, and the backend/jobs
+        provenance are dropped.
+        """
+        return {
+            "trace_name": self.trace_name,
+            "mode": self.mode,
+            "policy": self.policy,
+            "cumulative_actual_cost": self.cumulative_actual_cost,
+            "periods": [period.to_dict() for period in self.periods],
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -238,6 +276,8 @@ class ReplayReport:
             ),
             cost_stats=CostCallStats.from_dict(data["cost_stats"]),
             wall_time_seconds=data["wall_time_seconds"],
+            backend=data.get("backend", "serial"),
+            jobs=data.get("jobs", 1),
         )
 
     @classmethod
@@ -262,6 +302,13 @@ class TraceReplayer:
         policy: ``"dynamic"``, ``"continuous"``, or ``"static"``.
         fixed_memory_fraction: per-VM memory grant (the replayed problems
             control CPU only, as the dynamic manager requires).
+        backend: solver-execution backend, by registered name or instance.
+            Under the ``"static"`` policy the per-period evaluations are
+            independent and fan out on it; the dynamic policies are a
+            sequential chain (each period's decision feeds the next), so
+            a single-machine dynamic replay records the backend as
+            provenance but cannot overlap periods.
+        jobs: worker count for a backend given by name.
     """
 
     def __init__(
@@ -271,12 +318,15 @@ class TraceReplayer:
         builder: Optional[ProblemBuilder] = None,
         policy: str = POLICY_DYNAMIC,
         fixed_memory_fraction: float = DEFAULT_FIXED_MEMORY_FRACTION,
+        backend: Optional[BackendSpec] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.trace = trace
         self.advisor = advisor if advisor is not None else Advisor()
         self.builder = builder if builder is not None else ProblemBuilder()
         self.policy = _check_policy(policy)
         self.fixed_memory_fraction = fixed_memory_fraction
+        self.backend = resolve_backend(backend, jobs)
 
     def _period_tenants(self, period: int) -> Tuple[ConsolidatedWorkload, ...]:
         # The builder memoizes materializations by spec value, so repeated
@@ -307,49 +357,85 @@ class TraceReplayer:
             )
             manager.initial_recommendation()
 
+        def build_period(
+            period: int,
+            in_force: Tuple[ResourceAllocation, ...],
+            change_classes: Dict[str, str],
+            model_actions: Dict[str, str],
+            estimated: Dict[str, float],
+            actual_costs: Dict[str, float],
+            default_cost: float,
+        ) -> ReplayPeriod:
+            in_force_cost = sum(actual_costs.values())
+            return ReplayPeriod(
+                period=period,
+                placement={name: machine_name for name in names},
+                allocations={
+                    name: _allocation_dict(allocation)
+                    for name, allocation in zip(names, in_force)
+                },
+                change_classes=change_classes,
+                model_actions=model_actions,
+                estimated_costs=estimated,
+                actual_costs=actual_costs,
+                default_cost=default_cost,
+                actual_cost=in_force_cost,
+                improvement_over_default=relative_improvement(
+                    default_cost, in_force_cost
+                ),
+            )
+
         periods: List[ReplayPeriod] = []
-        for period in range(1, self.trace.n_periods + 1):
-            tenants = self._period_tenants(period)
-            problem = base_problem.with_tenants(tenants)
-            actuals = self.advisor.cost_function(problem, "actual")
-            if manager is not None:
-                in_force = manager.current_allocations
-                decision = manager.process_period(tenants)
-                change_classes = dict(zip(names, decision.change_classes))
-                model_actions = dict(zip(names, decision.model_actions))
-                estimated = dict(zip(names, decision.observed_estimated_costs))
-                actual_costs = dict(zip(names, decision.observed_actual_costs))
-            else:
-                in_force = static_allocations
+        if manager is None:
+            # Static policy: the allocation never changes, so the periods
+            # are independent evaluations — fan them out on the backend and
+            # reassemble in period order.
+            def static_period(period: int) -> ReplayPeriod:
+                tenants = self._period_tenants(period)
+                problem = base_problem.with_tenants(tenants)
+                actuals = self.advisor.cost_function(problem, "actual")
                 per_tenant = [
                     actuals.cost(index, allocation)
-                    for index, allocation in enumerate(in_force)
+                    for index, allocation in enumerate(static_allocations)
                 ]
-                change_classes = {}
-                model_actions = {}
-                estimated = {}
-                actual_costs = dict(zip(names, per_tenant))
-            in_force_cost = sum(actual_costs.values())
-            default_cost = actuals.total_cost(problem.default_allocation())
-            periods.append(
-                ReplayPeriod(
-                    period=period,
-                    placement={name: machine_name for name in names},
-                    allocations={
-                        name: _allocation_dict(allocation)
-                        for name, allocation in zip(names, in_force)
-                    },
-                    change_classes=change_classes,
-                    model_actions=model_actions,
-                    estimated_costs=estimated,
-                    actual_costs=actual_costs,
-                    default_cost=default_cost,
-                    actual_cost=in_force_cost,
-                    improvement_over_default=relative_improvement(
-                        default_cost, in_force_cost
-                    ),
+                return build_period(
+                    period,
+                    static_allocations,
+                    {},
+                    {},
+                    {},
+                    dict(zip(names, per_tenant)),
+                    actuals.total_cost(problem.default_allocation()),
                 )
-            )
+
+            tasks = [
+                SolveTask(
+                    call=lambda period=period: static_period(period),
+                    label=f"replay-period:{period}",
+                )
+                for period in range(1, self.trace.n_periods + 1)
+            ]
+            periods = list(_step_backend(self.backend).run(tasks))
+        else:
+            # Dynamic policies are a chain: period p's decision is period
+            # p+1's starting allocation, so the loop stays sequential.
+            for period in range(1, self.trace.n_periods + 1):
+                tenants = self._period_tenants(period)
+                problem = base_problem.with_tenants(tenants)
+                actuals = self.advisor.cost_function(problem, "actual")
+                in_force = manager.current_allocations
+                decision = manager.process_period(tenants)
+                periods.append(
+                    build_period(
+                        period,
+                        in_force,
+                        dict(zip(names, decision.change_classes)),
+                        dict(zip(names, decision.model_actions)),
+                        dict(zip(names, decision.observed_estimated_costs)),
+                        dict(zip(names, decision.observed_actual_costs)),
+                        actuals.total_cost(problem.default_allocation()),
+                    )
+                )
         return ReplayReport(
             trace_name=self.trace.name,
             mode="single-machine",
@@ -357,6 +443,8 @@ class TraceReplayer:
             periods=tuple(periods),
             cost_stats=_stats_delta(stats_before, self.advisor.cache_stats()),
             wall_time_seconds=time.perf_counter() - started,
+            backend=getattr(self.backend, "name", type(self.backend).__name__),
+            jobs=self.backend.jobs,
         )
 
 
@@ -373,6 +461,16 @@ class FleetTraceReplayer:
 
     The fleet must control CPU only (``resources=["cpu"]``), matching the
     dynamic manager's scope.
+
+    ``backend`` / ``jobs`` select the solver-execution backend: each
+    period's per-machine manager steps are independent and run
+    concurrently on it (a process backend's steps run on its same-width
+    thread fallback — manager state cannot ship across processes), and the
+    re-placement solves fan out through the internally-built
+    :class:`~repro.fleet.FleetAdvisor`.  Supplying your own ``advisor``
+    instead reuses that advisor's backend; the replayed periods are
+    bit-identical to a serial replay either way
+    (:meth:`ReplayReport.canonical_dict`).
     """
 
     def __init__(
@@ -382,6 +480,8 @@ class FleetTraceReplayer:
         advisor: Optional[FleetAdvisor] = None,
         policy: str = POLICY_DYNAMIC,
         replace_on_major: bool = True,
+        backend: Optional[BackendSpec] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         if tuple(fleet.resources) != (CPU,):
             raise ConfigurationError(
@@ -400,7 +500,20 @@ class FleetTraceReplayer:
             )
         self.trace = trace
         self.fleet = fleet
-        self.fleet_advisor = advisor if advisor is not None else FleetAdvisor()
+        if advisor is not None:
+            if backend is not None or jobs is not None:
+                raise ConfigurationError(
+                    "pass backend/jobs either to the FleetTraceReplayer or "
+                    "on the FleetAdvisor you supply, not both"
+                )
+            self.fleet_advisor = advisor
+            self.backend = advisor.backend
+        else:
+            self.backend = resolve_backend(backend, jobs)
+            # The replayer's re-placement calls (initial recommend +
+            # incremental re-placements) fan out on the same backend as the
+            # per-period manager steps.
+            self.fleet_advisor = FleetAdvisor(backend=self.backend)
         self.policy = _check_policy(policy)
         self.replace_on_major = replace_on_major
 
@@ -471,6 +584,46 @@ class FleetTraceReplayer:
                 for machine_index, indices in loads.items()
             }
 
+        step_backend = _step_backend(self.backend)
+
+        def machine_step(
+            problem: FleetProblem, machine_index: int, indices: Tuple[int, ...]
+        ) -> Dict[str, Any]:
+            """One machine's period step; independent of every other machine."""
+            design = self.fleet_advisor.machine_problem(
+                problem, machine_index, indices
+            )
+            tenant_names = [tenant.name for tenant in design.tenants]
+            actuals = inner.cost_function(design, "actual")
+            record: Dict[str, Any] = {
+                "default_cost": actuals.total_cost(design.default_allocation()),
+                "change_classes": {},
+                "model_actions": {},
+                "estimated": {},
+                "actual_costs": {},
+                "majors": [],
+            }
+            if self.policy == POLICY_STATIC:
+                in_force = tuple(static_allocations[name] for name in tenant_names)
+                for index, name in enumerate(tenant_names):
+                    record["actual_costs"][name] = actuals.cost(index, in_force[index])
+            else:
+                manager = managers[machine_index]
+                in_force = manager.current_allocations
+                decision = manager.process_period(design.tenants)
+                for index, name in enumerate(tenant_names):
+                    record["change_classes"][name] = decision.change_classes[index]
+                    record["model_actions"][name] = decision.model_actions[index]
+                    record["estimated"][name] = decision.observed_estimated_costs[index]
+                    record["actual_costs"][name] = decision.observed_actual_costs[index]
+                    if decision.change_classes[index] == CHANGE_MAJOR:
+                        record["majors"].append(name)
+            record["allocations"] = {
+                name: _allocation_dict(allocation)
+                for name, allocation in zip(tenant_names, in_force)
+            }
+            return record
+
         periods: List[ReplayPeriod] = []
         for period in range(1, self.trace.n_periods + 1):
             problem = self._period_problem(period)
@@ -481,32 +634,27 @@ class FleetTraceReplayer:
             actual_costs: Dict[str, float] = {}
             default_cost = 0.0
             majors: List[str] = []
-            for machine_index, indices in sorted(loads.items()):
-                design = self.fleet_advisor.machine_problem(
-                    problem, machine_index, indices
+            # Every machine's step is independent (its own dynamic manager,
+            # its own tenants) — fan the steps out, then merge the records
+            # in machine order so the period is identical to a serial run.
+            ordered_loads = sorted(loads.items())
+            tasks = [
+                SolveTask(
+                    call=lambda p=problem, m=machine_index, i=indices: (
+                        machine_step(p, m, i)
+                    ),
+                    label=f"replay-machine:{machine_index}",
                 )
-                tenant_names = [tenant.name for tenant in design.tenants]
-                actuals = inner.cost_function(design, "actual")
-                default_cost += actuals.total_cost(design.default_allocation())
-                if self.policy == POLICY_STATIC:
-                    in_force = tuple(
-                        static_allocations[name] for name in tenant_names
-                    )
-                    for index, name in enumerate(tenant_names):
-                        actual_costs[name] = actuals.cost(index, in_force[index])
-                else:
-                    manager = managers[machine_index]
-                    in_force = manager.current_allocations
-                    decision = manager.process_period(design.tenants)
-                    for index, name in enumerate(tenant_names):
-                        change_classes[name] = decision.change_classes[index]
-                        model_actions[name] = decision.model_actions[index]
-                        estimated[name] = decision.observed_estimated_costs[index]
-                        actual_costs[name] = decision.observed_actual_costs[index]
-                        if decision.change_classes[index] == CHANGE_MAJOR:
-                            majors.append(name)
-                for name, allocation in zip(tenant_names, in_force):
-                    allocations[name] = _allocation_dict(allocation)
+                for machine_index, indices in ordered_loads
+            ]
+            for record in step_backend.run(tasks):
+                default_cost += record["default_cost"]
+                change_classes.update(record["change_classes"])
+                model_actions.update(record["model_actions"])
+                estimated.update(record["estimated"])
+                actual_costs.update(record["actual_costs"])
+                allocations.update(record["allocations"])
+                majors.extend(record["majors"])
 
             in_force_cost = sum(actual_costs.values())
             placement_in_force = dict(placement)
@@ -557,4 +705,6 @@ class FleetTraceReplayer:
             periods=tuple(periods),
             cost_stats=_stats_delta(stats_before, inner.cache_stats()),
             wall_time_seconds=time.perf_counter() - started,
+            backend=getattr(self.backend, "name", type(self.backend).__name__),
+            jobs=self.backend.jobs,
         )

@@ -397,6 +397,71 @@ class TestCostCache:
         assert cache.hits + cache.misses == n_threads * lookups_per_thread
         assert cache.size <= cache.max_entries
 
+    def test_concurrent_memos_hand_out_one_object_per_key(self, fast_calibration):
+        # Companion regression test to the CostCache one, for the *memos*
+        # above the cache: Advisor.cost_function's per-problem wrapper memo
+        # and ProblemBuilder.consolidated's by-value memo are the identity
+        # sources the shared cost cache answers for, so a race that creates
+        # two objects for one key silently splits the cache.  Hammer both
+        # from many threads and assert each key resolved to one object.
+        import threading
+
+        from repro.api.builder import ProblemBuilder
+        from repro.api.scenario import TenantSpec
+
+        builder = ProblemBuilder(calibration_settings=fast_calibration)
+        specs = [
+            TenantSpec(
+                name=f"tenant-{index}",
+                engine="postgresql",
+                statements=(("q17", 1.0 + index),),
+            )
+            for index in range(4)
+        ]
+        problem = (
+            ProblemBuilder(calibration_settings=fast_calibration)
+            .add_tenant("a", engine="postgresql", statements=[("q17", 1.0)])
+            .add_tenant("b", engine="postgresql", statements=[("q18", 1.0)])
+            .build()
+        )
+        advisor = Advisor(delta=0.25)
+
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        results = [None] * n_threads
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                consolidated = tuple(
+                    builder.consolidated(specs[(seed + step) % len(specs)])
+                    for step in range(12)
+                )
+                wrapped = advisor.cost_function(problem)
+                results[seed] = (consolidated, wrapped)
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # One wrapped cost function per (problem, strategy) across threads.
+        wrappers = {id(result[1]) for result in results}
+        assert len(wrappers) == 1
+        # One consolidated workload object per spec value across threads.
+        by_name = {}
+        for consolidated, _ in results:
+            for tenant in consolidated:
+                by_name.setdefault(tenant.workload.name, set()).add(id(tenant))
+        assert all(len(identities) == 1 for identities in by_name.values())
+
 
 class TestAdvisor:
     def test_repeated_recommend_performs_zero_new_evaluations(self, scenario, scenario_problem):

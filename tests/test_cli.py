@@ -92,6 +92,30 @@ class TestFleetCommand:
         report = json.loads(out)
         assert report["strategy"] == "round-robin"
         assert set(report["placement"]) == {"t1", "t2", "t3"}
+        # Default backend provenance is recorded in the report.
+        assert report["backend"] == "serial"
+        assert report["jobs"] == 1
+
+    def test_thread_backend_flag_matches_serial_answer(self, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        code, serial_out, _ = run(capsys, ["fleet", path])
+        assert code == 0
+        code, thread_out, err = run(
+            capsys, ["fleet", path, "--backend", "thread", "--jobs", "2"]
+        )
+        assert code == 0 and err == ""
+        serial, threaded = json.loads(serial_out), json.loads(thread_out)
+        assert threaded["backend"] == "thread"
+        assert threaded["jobs"] == 2
+        # The answer is backend-invariant; only provenance and run
+        # artifacts (timing, cache traffic) may differ.
+        assert threaded["placement"] == serial["placement"]
+        assert threaded["total_weighted_cost"] == serial["total_weighted_cost"]
+
+    def test_unknown_backend_is_rejected_by_argparse(self, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        with pytest.raises(SystemExit):
+            main(["fleet", path, "--backend", "gpu"])
 
 
 class TestReplayCommand:
@@ -112,6 +136,22 @@ class TestReplayCommand:
         report = json.loads(out)
         assert report["mode"] == "fleet"
         assert set(report["periods"][0]["placement"]) == {"t1", "t2"}
+        assert report["backend"] == "serial"
+
+    def test_fleet_replay_thread_backend(self, tmp_path, capsys):
+        trace = write(tmp_path, "trace.json", TRACE)
+        fleet = write(tmp_path, "fleet.json", FLEET_FOR_TRACE)
+        code, serial_out, _ = run(capsys, ["replay", trace, "--fleet", fleet])
+        assert code == 0
+        code, thread_out, err = run(
+            capsys,
+            ["replay", trace, "--fleet", fleet, "--backend", "thread", "--jobs", "2"],
+        )
+        assert code == 0 and err == ""
+        serial, threaded = json.loads(serial_out), json.loads(thread_out)
+        assert threaded["backend"] == "thread" and threaded["jobs"] == 2
+        assert threaded["periods"] == serial["periods"]
+        assert threaded["cumulative_actual_cost"] == serial["cumulative_actual_cost"]
 
 
 class TestErrorHandling:
