@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for ``python -m repro serve``.
+
+Boots the HTTP serving tier as a real subprocess (ephemeral port), POSTs
+the 12-tenant × 4-machine fleet fixture used across the benchmarks, and
+asserts the served answer is canonically identical to a direct serial
+library solve.  Finishes by checking ``/healthz`` and ``/stats`` and
+sending SIGTERM, which must produce a clean exit.  Run from the repo
+root with ``PYTHONPATH=src python scripts/service_smoke.py``; exits 0 on
+success, 1 with a diagnostic on any failure.
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import urllib.request
+
+from repro.experiments.fleet import build_fleet_problem
+from repro.fleet import FleetAdvisor, FleetProblem
+from repro.fleet.report import FleetReport
+
+N_TENANTS = 12
+N_MACHINES = 4
+FAST_CALIBRATION = {"cpu_shares": [0.25, 0.5, 0.75, 1.0]}
+READ_TIMEOUT_SECONDS = 120
+
+
+def fleet_document() -> dict:
+    document = build_fleet_problem(
+        n_tenants=N_TENANTS, n_machines=N_MACHINES
+    ).to_dict()
+    document["calibration"] = FAST_CALIBRATION
+    return document
+
+
+def get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=READ_TIMEOUT_SECONDS) as response:
+        assert response.status == 200, f"{url} -> {response.status}"
+        return json.loads(response.read())
+
+
+def post(url: str, document: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=READ_TIMEOUT_SECONDS) as response:
+        assert response.status == 200, f"{url} -> {response.status}"
+        return json.loads(response.read())
+
+
+def main() -> int:
+    document = fleet_document()
+    print(f"solving {N_TENANTS} tenants x {N_MACHINES} machines directly ...")
+    # Library defaults on both sides: the served advisor is built with
+    # default options, so the baseline must be too.
+    direct = FleetAdvisor().recommend(FleetProblem.from_dict(document))
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--backend", "asyncio", "--jobs", "4"],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        announcement = server.stderr.readline()
+        match = re.search(r"serving on (http://\S+)", announcement)
+        assert match, f"no announcement, got {announcement!r}"
+        base = match.group(1)
+        print(f"server up at {base}")
+
+        health = get(base + "/healthz")
+        assert health["status"] == "ok", health
+
+        served = FleetReport.from_dict(post(base + "/fleet", document))
+        assert served.canonical_dict() == direct.canonical_dict(), (
+            "served fleet answer diverged from the direct library solve"
+        )
+        print(f"served answer matches library: "
+              f"total_weighted_cost={served.total_weighted_cost:.6f}")
+
+        stats = get(base + "/stats")
+        assert stats["requests"]["fleet"] == 1, stats
+        assert stats["in_flight"] == 0, stats
+
+        server.send_signal(signal.SIGTERM)
+        code = server.wait(timeout=30)
+        assert code == 0, f"server exited {code} on SIGTERM"
+        print("clean shutdown; service smoke OK")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

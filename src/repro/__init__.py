@@ -25,9 +25,14 @@ The package provides:
   :class:`~repro.traces.FleetTraceReplayer` driving dynamic reconfiguration
   and incremental fleet re-placement (:mod:`repro.traces`),
 * the parallel solver-execution subsystem — pluggable ``serial`` /
-  ``thread`` / ``process`` backends fanning independent per-machine solves
-  out while returning the serial answer bit for bit (:mod:`repro.parallel`),
-  and
+  ``thread`` / ``process`` / ``asyncio`` backends fanning independent
+  per-machine solves out while returning the serial answer bit for bit
+  (:mod:`repro.parallel`),
+* the serving tier — :class:`~repro.service.AdvisorService` hosting the
+  advisor for concurrent callers over one process-wide cost-cache pool,
+  awaitable :class:`~repro.service.AsyncAdvisor` /
+  :class:`~repro.service.AsyncFleetAdvisor` faces, and the stdlib-only
+  HTTP server behind ``python -m repro serve`` (:mod:`repro.service`), and
 * the experiment harness reproducing every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
@@ -60,6 +65,10 @@ defined as data via :meth:`repro.api.Scenario.from_dict`.
 
 from __future__ import annotations
 
+# Defined before the subpackage imports: the serving tier reports the
+# package version (HTTP Server header, /healthz) and reads it mid-import.
+__version__ = "1.4.0"
+
 from .api import (
     Advisor,
     ProblemBuilder,
@@ -89,11 +98,19 @@ from .fleet import (
 )
 from .parallel import (
     BACKENDS,
+    AsyncioBackend,
     ProcessBackend,
     SerialBackend,
     SolverBackend,
     ThreadBackend,
     resolve_backend,
+)
+from .service import (
+    AdvisorHTTPServer,
+    AdvisorService,
+    AsyncAdvisor,
+    AsyncFleetAdvisor,
+    serve,
 )
 from .traces import (
     FleetTraceReplayer,
@@ -104,11 +121,14 @@ from .traces import (
 from .virt import Hypervisor, PhysicalMachine
 from .workloads import Workload, tpcc_database, tpcc_transactions, tpch_database, tpch_queries
 
-__version__ = "1.3.0"
-
 __all__ = [
     "ActualCostFunction",
     "Advisor",
+    "AdvisorHTTPServer",
+    "AdvisorService",
+    "AsyncAdvisor",
+    "AsyncFleetAdvisor",
+    "AsyncioBackend",
     "BACKENDS",
     "CalibrationSettings",
     "ConsolidatedWorkload",
@@ -143,6 +163,7 @@ __all__ = [
     "calibrate_engine",
     "quickstart_problem",
     "resolve_backend",
+    "serve",
     "tpcc_database",
     "tpcc_transactions",
     "tpch_database",

@@ -14,18 +14,26 @@ document and writing the corresponding JSON report to stdout (or a file):
   :class:`~repro.traces.WorkloadTrace`; on one machine by default, or
   across a fleet with ``--fleet fleet.json`` (``--policy`` selects
   dynamic / continuous / static).
+* ``serve`` — host the advisor over HTTP
+  (:mod:`repro.service`): POST the same three document kinds to
+  ``/recommend`` / ``/fleet`` / ``/replay``, GET ``/healthz`` /
+  ``/stats``; runs until SIGINT/SIGTERM.
 
 The ``fleet`` and ``replay`` subcommands accept ``--backend`` /
 ``--jobs`` to fan independent per-machine solves out on a solver-execution
-backend (``serial`` / ``thread`` / ``process``); every backend returns the
-serial answer, and the emitted report records which backend produced it.
+backend (``serial`` / ``thread`` / ``process`` / ``asyncio``); every
+backend returns the serial answer, and the emitted report records which
+backend produced it.  Input paths accept ``-`` to read the JSON document
+from stdin, and ``--version`` reports the package version.
 
 Examples::
 
     python -m repro recommend scenario.json --indent 2
+    python -m repro recommend - < scenario.json
     python -m repro fleet fleet.json --placement round-robin -o report.json
     python -m repro fleet fleet.json --backend thread --jobs 4
     python -m repro replay trace.json --fleet fleet.json --policy static
+    python -m repro serve --port 8008 --jobs 8
 """
 
 from __future__ import annotations
@@ -36,6 +44,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from . import __version__
 from .api import Advisor, Scenario
 from .exceptions import ReproError
 from .fleet import PLACEMENTS, FleetAdvisor, FleetProblem
@@ -51,6 +60,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "configurations, fleet placements, and trace replays from "
             "JSON problem documents."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -92,7 +104,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="solve a single-machine consolidation scenario",
         description="Solve one Scenario JSON document with the Advisor.",
     )
-    recommend.add_argument("scenario", type=Path, help="path to a Scenario JSON file")
+    recommend.add_argument(
+        "scenario", type=Path,
+        help="path to a Scenario JSON file, or - to read it from stdin",
+    )
     add_output_options(recommend)
 
     fleet = commands.add_parser(
@@ -100,7 +115,10 @@ def _build_parser() -> argparse.ArgumentParser:
         help="place tenants across a machine fleet",
         description="Solve one FleetProblem JSON document with the FleetAdvisor.",
     )
-    fleet.add_argument("fleet", type=Path, help="path to a FleetProblem JSON file")
+    fleet.add_argument(
+        "fleet", type=Path,
+        help="path to a FleetProblem JSON file, or - to read it from stdin",
+    )
     fleet.add_argument(
         "--placement",
         default="greedy-cost",
@@ -118,7 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
             "default, fleet-scale with --fleet."
         ),
     )
-    replay.add_argument("trace", type=Path, help="path to a WorkloadTrace JSON file")
+    replay.add_argument(
+        "trace", type=Path,
+        help="path to a WorkloadTrace JSON file, or - to read it from stdin",
+    )
     replay.add_argument(
         "--fleet",
         type=Path,
@@ -134,10 +155,52 @@ def _build_parser() -> argparse.ArgumentParser:
     add_backend_options(replay)
     add_output_options(replay)
 
+    serve = commands.add_parser(
+        "serve",
+        help="host the advisor over HTTP",
+        description=(
+            "Serve POST /recommend, /fleet, and /replay (the same JSON "
+            "documents as the subcommands) plus GET /healthz and /stats; "
+            "runs until SIGINT/SIGTERM."
+        ),
+    )
+    serve.add_argument(
+        "--host", default=None, help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port; 0 picks an ephemeral one (default: 8008)",
+    )
+    serve.add_argument(
+        "--backend",
+        default="asyncio",
+        choices=sorted(BACKENDS.names()),
+        help="solver-execution backend for served solves (default: asyncio)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for the chosen backend (default: per-backend)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        help="bound on concurrently executing requests (default: 8)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log each handled request"
+    )
+
     return parser
 
 
 def _read(path: Path) -> str:
+    if str(path) == "-":
+        return sys.stdin.read()
     return path.read_text(encoding="utf-8")
 
 
@@ -185,10 +248,31 @@ def _run_replay(args: argparse.Namespace) -> str:
     return report.to_json(indent=args.indent)
 
 
+def _run_serve(args: argparse.Namespace) -> Optional[str]:
+    # Imported here: the serving tier is needed only by this subcommand.
+    from .service import DEFAULT_HOST, DEFAULT_PORT, AdvisorService, serve
+    from .service.async_api import DEFAULT_MAX_CONCURRENCY
+
+    service = AdvisorService(backend=args.backend, jobs=args.jobs)
+    serve(
+        host=args.host if args.host is not None else DEFAULT_HOST,
+        port=args.port if args.port is not None else DEFAULT_PORT,
+        service=service,
+        max_concurrency=(
+            args.max_concurrency
+            if args.max_concurrency is not None
+            else DEFAULT_MAX_CONCURRENCY
+        ),
+        verbose=args.verbose,
+    )
+    return None
+
+
 _RUNNERS = {
     "recommend": _run_recommend,
     "fleet": _run_fleet,
     "replay": _run_replay,
+    "serve": _run_serve,
 }
 
 
@@ -198,7 +282,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         document = _RUNNERS[args.command](args)
-        _emit(document, args.output)
+        if document is not None:
+            _emit(document, args.output)
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

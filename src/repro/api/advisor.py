@@ -95,6 +95,12 @@ class Advisor:
         delta / min_share / max_iterations: enumeration knobs, forwarded to
             named enumerator factories.
         max_combinations: grid budget forwarded to ``"exhaustive"``.
+        shared_caches: optional externally-owned cache pool (strategy name →
+            :class:`~repro.api.cache.CostCache`).  Several advisors given
+            the *same* pool answer each other's what-if questions — the
+            serving tier builds one short-lived advisor per request (the
+            factory-per-worker ownership pattern) yet keeps one process-wide
+            cache.  Omitted, the advisor owns a private pool, as before.
     """
 
     def __init__(
@@ -106,6 +112,7 @@ class Advisor:
         min_share: float = 0.05,
         max_iterations: int = 500,
         max_combinations: int = 2_000_000,
+        shared_caches: Optional[Dict[str, CostCache]] = None,
     ) -> None:
         self.delta = delta
         self.min_share = min_share
@@ -114,8 +121,13 @@ class Advisor:
         self.enumerator = enumerator  # property: resolves names, tracks provenance
         self._cost_function_spec = cost_function
         self._refinement_spec = refinement
-        #: One shared cache per named cost-function strategy.
-        self._shared_caches: Dict[str, CostCache] = {}
+        #: One shared cache per named cost-function strategy.  When the
+        #: pool is caller-supplied it may be concurrently extended by other
+        #: advisors; insertion happens via ``setdefault`` (atomic under the
+        #: GIL — the service layer additionally serializes it).
+        self._shared_caches: Dict[str, CostCache] = (
+            shared_caches if shared_caches is not None else {}
+        )
         #: Per-problem wrapped cost functions (LRU on problem identity).
         self._cost_functions: "OrderedDict[Tuple[int, str], Tuple[VirtualizationDesignProblem, CachedCostFunction]]" = (
             OrderedDict()

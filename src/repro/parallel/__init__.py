@@ -2,13 +2,17 @@
 
 The fleet advisor, the trace replayers, and the CLI fan their independent
 per-machine solves out through a :class:`~repro.parallel.backends.SolverBackend`
-selected by name (``"serial"`` / ``"thread"`` / ``"process"``) from the
-open :data:`~repro.parallel.backends.BACKENDS` registry — see
+selected by name (``"serial"`` / ``"thread"`` / ``"process"`` /
+``"asyncio"``) from the open
+:data:`~repro.parallel.backends.BACKENDS` registry — see
 ``docs/parallel.md`` for the subsystem guide and the determinism contract
 (every backend returns the serial answer, bit for bit, under
-``canonical_dict()``).
+``canonical_dict()``).  The ``asyncio`` backend additionally exposes the
+awaitable face (:meth:`~repro.parallel.aio.AsyncioBackend.run_async`) the
+serving tier (:mod:`repro.service`) multiplexes requests over.
 """
 
+from .aio import AsyncioBackend
 from .backends import (
     BACKENDS,
     DEFAULT_THREAD_JOBS,
@@ -23,6 +27,7 @@ from .backends import (
 from .simulated import DEFAULT_RPC_LATENCY_SECONDS, SimulatedRpcWhatIfEstimator
 
 __all__ = [
+    "AsyncioBackend",
     "BACKENDS",
     "BackendSpec",
     "DEFAULT_RPC_LATENCY_SECONDS",

@@ -1,0 +1,212 @@
+"""A stdlib-only HTTP face for the advisor: ``python -m repro serve``.
+
+The wire format *is* the library's: ``POST /recommend`` takes a
+:class:`~repro.api.Scenario` JSON document, ``POST /fleet`` a
+:class:`~repro.fleet.FleetProblem`, ``POST /replay`` a
+:class:`~repro.traces.WorkloadTrace` (bare, or wrapped as ``{"trace": ...,
+"fleet": ..., "policy": ...}``), and each responds with the corresponding
+report's ``to_dict()`` body — byte-equal under ``canonical_dict()`` to the
+direct library call.  ``GET /healthz`` answers liveness; ``GET /stats``
+reports the process-wide cost-cache traffic and in-flight requests.
+
+Threading model: :class:`AdvisorHTTPServer` is a
+:class:`~http.server.ThreadingHTTPServer` (one handler thread per
+connection) that owns a private event loop on a daemon thread.  Handlers
+*submit* their request coroutine to that loop and block their own
+connection thread on the result — so the admission bound (the
+:class:`~repro.service.async_api.AsyncAdvisorService` semaphore) is
+enforced in one place regardless of how many connection threads pile up,
+and each admitted solve runs on a worker thread where the service's
+``asyncio`` solver backend is free to open its own per-batch loop.
+
+Errors map to JSON bodies: malformed documents are ``400 {"error": ...}``
+(:class:`~repro.exceptions.ReproError`, bad JSON), unknown paths ``404``,
+wrong verbs ``405``, anything unexpected ``500``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, TextIO, Tuple
+
+from .. import __version__
+from ..exceptions import ReproError
+from .async_api import DEFAULT_MAX_CONCURRENCY, AsyncAdvisorService
+from .engine import AdvisorService
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8008
+
+
+class AdvisorHTTPServer(ThreadingHTTPServer):
+    """The advisor bound to a socket, with its own event-loop thread."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int] = (DEFAULT_HOST, DEFAULT_PORT),
+        service: Optional[AdvisorService] = None,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service if service is not None else AdvisorService()
+        self.async_service = AsyncAdvisorService(
+            self.service, max_concurrency=max_concurrency
+        )
+        self.verbose = verbose
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serve-loop", daemon=True
+        )
+        self._loop_thread.start()
+        self._closed = False
+        super().__init__(address, AdvisorRequestHandler)
+
+    def submit(self, coroutine: Any) -> Any:
+        """Run a coroutine on the server's loop; block until its result."""
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def server_close(self) -> None:  # called after shutdown()
+        super().server_close()
+        if not self._closed:
+            self._closed = True
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._loop_thread.join(timeout=5)
+            self._loop.close()
+            self.service.close()
+
+
+class AdvisorRequestHandler(BaseHTTPRequestHandler):
+    """Routes the five endpoints; everything else is a JSON error."""
+
+    server: AdvisorHTTPServer
+    server_version = f"repro-advisor/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    _GET_PATHS = ("/healthz", "/stats")
+    _POST_PATHS = ("/recommend", "/fleet", "/replay")
+
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send(200, {"status": "ok", "version": __version__})
+        elif path == "/stats":
+            self._send(200, self.server.async_service.stats())
+        elif path in self._POST_PATHS:
+            self._method_not_allowed("POST")
+        else:
+            self._send(404, {"error": f"unknown path {path!r}"})
+
+    def do_POST(self) -> None:
+        path = self.path.split("?", 1)[0]
+        if path in self._GET_PATHS:
+            self._method_not_allowed("GET")
+            return
+        if path not in self._POST_PATHS:
+            self._send(404, {"error": f"unknown path {path!r}"})
+            return
+        try:
+            document = self._read_document()
+            if path == "/recommend":
+                report = self.server.submit(
+                    self.server.async_service.recommend(document)
+                )
+            elif path == "/fleet":
+                report = self.server.submit(self.server.async_service.fleet(document))
+            else:
+                report = self.server.submit(self.server.async_service.replay(document))
+        except (ReproError, json.JSONDecodeError, UnicodeDecodeError) as error:
+            self._send(400, {"error": str(error)})
+            return
+        except Exception as error:  # noqa: BLE001 — a handler must not die
+            self._send(500, {"error": f"{type(error).__name__}: {error}"})
+            return
+        self._send(200, report.to_dict())
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _read_document(self) -> Any:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise json.JSONDecodeError("empty request body", "", 0)
+        body = self.rfile.read(length).decode("utf-8")
+        return json.loads(body)
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _method_not_allowed(self, allowed: str) -> None:
+        body = json.dumps({"error": f"use {allowed} for {self.path}"}).encode("utf-8")
+        self.send_response(405)
+        self.send_header("Allow", allowed)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+def serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    service: Optional[AdvisorService] = None,
+    max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+    verbose: bool = False,
+    ready_stream: Optional[TextIO] = None,
+) -> None:
+    """Serve the advisor until interrupted (SIGINT/SIGTERM), then exit clean.
+
+    ``port=0`` binds an ephemeral port; either way the bound address is
+    announced on ``ready_stream`` (stderr by default) as
+    ``serving on http://host:port`` so wrappers can wait for readiness.
+    """
+    server = AdvisorHTTPServer(
+        (host, port),
+        service=service,
+        max_concurrency=max_concurrency,
+        verbose=verbose,
+    )
+    stream = ready_stream if ready_stream is not None else sys.stderr
+    print(f"serving on {server.url}", file=stream, flush=True)
+
+    def request_shutdown(signum: int, frame: Any) -> None:
+        # shutdown() blocks until serve_forever() exits, so it must run off
+        # the main thread (which is *inside* serve_forever right now).
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = None
+    try:
+        previous = signal.signal(signal.SIGTERM, request_shutdown)
+    except ValueError:  # not on the main thread (e.g. under a test runner)
+        pass
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+        server.server_close()

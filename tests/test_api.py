@@ -266,6 +266,53 @@ class TestStrategyRegistries:
             ENUMERATORS.register("greedy", lambda **_: None)
 
 
+class TestCostCallStats:
+    """Arithmetic of the cost-call accounting (service /stats sums these)."""
+
+    def test_add_aggregates_every_field(self):
+        from repro.api import CostCallStats
+
+        a = CostCallStats(
+            evaluations=3, cache_hits=5, cache_misses=3,
+            optimizer_calls=2, plan_cache_hits=1,
+        )
+        b = CostCallStats(
+            evaluations=4, cache_hits=1, cache_misses=4,
+            optimizer_calls=0, plan_cache_hits=6,
+        )
+        total = a + b
+        assert total == CostCallStats(
+            evaluations=7, cache_hits=6, cache_misses=7,
+            optimizer_calls=2, plan_cache_hits=7,
+        )
+
+    def test_add_rejects_foreign_types(self):
+        from repro.api import CostCallStats
+
+        stats = CostCallStats(evaluations=1, cache_hits=1, cache_misses=1)
+        with pytest.raises(TypeError):
+            stats + 1  # noqa: B018 — the operator itself is under test
+
+    def test_radd_absorbs_sum_zero_start(self):
+        from repro.api import CostCallStats
+
+        stats = CostCallStats(evaluations=2, cache_hits=3, cache_misses=2)
+        assert 0 + stats == stats
+        with pytest.raises(TypeError):
+            1 + stats  # noqa: B018 — only sum()'s zero start is absorbed
+
+    def test_sum_over_a_list_of_stats(self):
+        from repro.api import CostCallStats
+
+        parts = [
+            CostCallStats(evaluations=i, cache_hits=2 * i, cache_misses=i)
+            for i in range(1, 4)
+        ]
+        total = sum(parts)
+        assert total == CostCallStats(evaluations=6, cache_hits=12, cache_misses=6)
+        assert total.hit_rate == pytest.approx(12 / 18)
+
+
 class TestCostCache:
     def test_hit_and_miss_counting(self, scenario_problem):
         cache = CostCache()

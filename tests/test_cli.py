@@ -154,6 +154,52 @@ class TestReplayCommand:
         assert threaded["cumulative_actual_cost"] == serial["cumulative_actual_cost"]
 
 
+class TestVersionFlag:
+    def test_version_reports_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {repro.__version__}"
+
+
+class TestStdinInput:
+    def test_recommend_reads_scenario_from_dash(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(SCENARIO)))
+        code, out, err = run(capsys, ["recommend", "-"])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert {tenant["name"] for tenant in report["tenants"]} == {"dss", "scan"}
+
+    def test_fleet_reads_problem_from_dash(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(FLEET)))
+        code, out, err = run(capsys, ["fleet", "-"])
+        assert code == 0 and err == ""
+        assert set(json.loads(out)["placement"]) == {"t1", "t2", "t3"}
+
+    def test_replay_reads_trace_from_dash(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(json.dumps(TRACE)))
+        code, out, err = run(capsys, ["replay", "-", "--policy", "static"])
+        assert code == 0 and err == ""
+        assert json.loads(out)["mode"] == "single-machine"
+
+    def test_invalid_stdin_document_is_a_clean_error(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("not json"))
+        code, out, err = run(capsys, ["recommend", "-"])
+        assert code == 2 and out == ""
+        assert "error:" in err
+
+
 class TestErrorHandling:
     def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
         code, out, err = run(capsys, ["recommend", str(tmp_path / "absent.json")])

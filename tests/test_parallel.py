@@ -20,6 +20,7 @@ from repro.experiments.fleet import build_fleet_problem
 from repro.fleet import FleetAdvisor, FleetProblem, FleetReport
 from repro.parallel import (
     BACKENDS,
+    AsyncioBackend,
     ProcessBackend,
     SerialBackend,
     SimulatedRpcWhatIfEstimator,
@@ -74,7 +75,7 @@ def small_trace_and_fleet(n_tenants=4, n_machines=2, n_periods=3):
 # ----------------------------------------------------------------------
 class TestBackends:
     def test_registry_names(self):
-        assert {"serial", "thread", "process"} <= set(BACKENDS.names())
+        assert {"serial", "thread", "process", "asyncio"} <= set(BACKENDS.names())
 
     def test_resolve_by_name_and_default(self):
         assert isinstance(resolve_backend(None), SerialBackend)
@@ -143,6 +144,61 @@ class TestBackends:
             assert inline.jobs == 3
             assert inline.run([SolveTask(call=lambda: 7)]) == [7]
 
+    def test_asyncio_preserves_task_order(self):
+        with AsyncioBackend(jobs=4) as backend:
+            tasks = [SolveTask(call=lambda i=i: i * i) for i in range(20)]
+            assert backend.run(tasks) == [i * i for i in range(20)]
+
+    def test_asyncio_bounds_concurrency_to_jobs(self):
+        import threading
+        import time
+
+        running, peak = [0], [0]
+        lock = threading.Lock()
+
+        def call():
+            with lock:
+                running[0] += 1
+                peak[0] = max(peak[0], running[0])
+            time.sleep(0.02)
+            with lock:
+                running[0] -= 1
+            return True
+
+        with AsyncioBackend(jobs=2) as backend:
+            assert backend.run([SolveTask(call=call) for _ in range(8)]) == [True] * 8
+        assert peak[0] <= 2
+
+    def test_asyncio_run_async_is_awaitable(self):
+        import asyncio
+
+        async def drive():
+            with AsyncioBackend(jobs=3) as backend:
+                tasks = [SolveTask(call=lambda i=i: i + 1) for i in range(6)]
+                return await backend.run_async(tasks)
+
+        assert asyncio.run(drive()) == [1, 2, 3, 4, 5, 6]
+
+    def test_asyncio_run_refuses_inside_a_running_loop(self):
+        import asyncio
+
+        async def drive():
+            backend = AsyncioBackend(jobs=2)
+            tasks = [SolveTask(call=lambda: 1), SolveTask(call=lambda: 2)]
+            with pytest.raises(ConfigurationError, match="run_async"):
+                backend.run(tasks)
+            return await backend.run_async(tasks)
+
+        assert asyncio.run(drive()) == [1, 2]
+
+    def test_asyncio_propagates_exceptions(self):
+        def boom():
+            raise ValueError("solver exploded")
+
+        with AsyncioBackend(jobs=2) as backend:
+            with pytest.raises(ValueError, match="solver exploded"):
+                backend.run([SolveTask(call=boom), SolveTask(call=lambda: 1)])
+
 
 # ----------------------------------------------------------------------
 # Determinism: parallel backends reproduce the serial answer bit for bit
@@ -176,6 +232,16 @@ class TestFleetDeterminism:
             advisor.backend.close()
         assert report.backend == "process"
         assert report.jobs == 2
+        assert report.canonical_dict() == serial_report.canonical_dict()
+
+    def test_asyncio_backend_is_bit_identical(self, problem, serial_report):
+        advisor = FleetAdvisor(delta=0.25, backend="asyncio", jobs=4)
+        try:
+            report = advisor.recommend(problem)
+        finally:
+            advisor.backend.close()
+        assert report.backend == "asyncio"
+        assert report.jobs == 4
         assert report.canonical_dict() == serial_report.canonical_dict()
 
     def test_per_call_backend_override(self, problem, serial_report):
@@ -259,6 +325,17 @@ class TestReplayDeterminism:
         assert threaded.backend == "thread"
         assert threaded.canonical_dict() == serial.canonical_dict()
         assert threaded.cumulative_actual_cost == serial.cumulative_actual_cost
+
+    def test_fleet_replay_asyncio_matches_serial(self, trace_and_fleet):
+        trace, fleet = trace_and_fleet
+        serial = FleetTraceReplayer(trace, fleet).replay()
+        replayer = FleetTraceReplayer(trace, fleet, backend="asyncio", jobs=2)
+        try:
+            report = replayer.replay()
+        finally:
+            replayer.backend.close()
+        assert report.backend == "asyncio"
+        assert report.canonical_dict() == serial.canonical_dict()
 
     def test_fleet_replay_process_steps_use_thread_fallback(self, trace_and_fleet):
         # Manager steps cannot ship across processes; the process backend's

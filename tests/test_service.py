@@ -1,0 +1,448 @@
+"""Tests for the serving tier (:mod:`repro.service`).
+
+Covers the awaitable advisor faces (``await recommend(...)`` returning
+the synchronous answer bit for bit, bounded concurrency), the shared
+:class:`~repro.service.AdvisorService` engine (per-request advisors over
+one process-wide cache pool; repeats answered without new evaluations),
+and the stdlib HTTP server — including the concurrent mixed-endpoint
+property: N parallel clients hitting one served advisor receive responses
+byte-equal under ``canonical_dict()`` to direct library calls, and
+repeats drive the shared cost-cache hit rate above zero.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import Advisor, AsyncAdvisor, AsyncFleetAdvisor, Scenario
+from repro.api.report import RecommendationReport
+from repro.exceptions import ConfigurationError
+from repro.fleet import FleetAdvisor, FleetProblem
+from repro.fleet.report import FleetReport
+from repro.service import AdvisorHTTPServer, AdvisorService, AsyncAdvisorService
+from repro.traces import FleetTraceReplayer, TraceReplayer, WorkloadTrace
+from repro.traces.replay import ReplayReport
+
+#: Coarse calibration grid keeps every solve fast.
+FAST_CALIBRATION = {"cpu_shares": [0.25, 0.5, 0.75, 1.0]}
+
+SCENARIO = {
+    "name": "served-scenario",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "advisor": {"delta": 0.25},
+    "tenants": [
+        {"name": "dss", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "scan", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+FLEET = {
+    "name": "served-fleet",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "machines": [{"name": "m1"}, {"name": "m2"}],
+    "tenants": [
+        {"name": "t1", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "t2", "engine": "db2", "statements": [["q21", 1.0]]},
+        {"name": "t3", "engine": "db2", "statements": [["q18", 1.0]]},
+    ],
+}
+
+TRACE = {
+    "name": "served-trace",
+    "n_periods": 2,
+    "tenants": [
+        {"name": "t1", "engine": "db2", "statements": [["q18", 2.0]],
+         "events": [{"time_seconds": 1800.0, "intensity": 2.0}]},
+        {"name": "t2", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+FLEET_FOR_TRACE = {
+    "name": "served-trace-fleet",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "machines": [{"name": "m1"}, {"name": "m2"}],
+    "tenants": [
+        {"name": "t1", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "t2", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+#: Advisor options every service and baseline in this module shares.
+ADVISOR_OPTIONS = {"delta": 0.25}
+
+
+# ----------------------------------------------------------------------
+# Direct library baselines (what every served answer must equal)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def scenario_problem():
+    return Scenario.from_dict(SCENARIO).build()
+
+
+@pytest.fixture(scope="module")
+def direct_recommend(scenario_problem):
+    return Advisor(**SCENARIO["advisor"]).recommend(scenario_problem)
+
+
+@pytest.fixture(scope="module")
+def direct_fleet():
+    return FleetAdvisor(**ADVISOR_OPTIONS).recommend(FleetProblem.from_dict(FLEET))
+
+
+@pytest.fixture(scope="module")
+def direct_replay():
+    return TraceReplayer(
+        WorkloadTrace.from_dict(TRACE),
+        advisor=Advisor(**ADVISOR_OPTIONS),
+        policy="static",
+    ).replay()
+
+
+@pytest.fixture(scope="module")
+def direct_fleet_replay():
+    return FleetTraceReplayer(
+        WorkloadTrace.from_dict(TRACE),
+        FleetProblem.from_dict(FLEET_FOR_TRACE),
+        advisor=FleetAdvisor(**ADVISOR_OPTIONS),
+    ).replay()
+
+
+# ----------------------------------------------------------------------
+# Awaitable advisor faces
+# ----------------------------------------------------------------------
+class TestAsyncAdvisor:
+    def test_awaited_recommend_is_the_sync_answer(
+        self, scenario_problem, direct_recommend
+    ):
+        async def drive():
+            advisor = AsyncAdvisor(**SCENARIO["advisor"])
+            return await advisor.recommend(scenario_problem)
+
+        report = asyncio.run(drive())
+        assert isinstance(report, RecommendationReport)
+        assert report.canonical_dict() == direct_recommend.canonical_dict()
+
+    def test_concurrent_awaits_are_bit_identical(
+        self, scenario_problem, direct_recommend
+    ):
+        async def drive():
+            advisor = AsyncAdvisor(max_concurrency=4, **SCENARIO["advisor"])
+            return await asyncio.gather(
+                *(advisor.recommend(scenario_problem) for _ in range(6))
+            )
+
+        reports = asyncio.run(drive())
+        assert len(reports) == 6
+        for report in reports:
+            assert report.canonical_dict() == direct_recommend.canonical_dict()
+
+    def test_replay_is_awaitable(self, direct_replay):
+        async def drive():
+            advisor = AsyncAdvisor(**ADVISOR_OPTIONS)
+            return await advisor.replay(
+                WorkloadTrace.from_dict(TRACE), policy="static"
+            )
+
+        report = asyncio.run(drive())
+        assert isinstance(report, ReplayReport)
+        assert report.canonical_dict() == direct_replay.canonical_dict()
+
+    def test_rejects_instance_plus_options(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            AsyncAdvisor(advisor=Advisor(), delta=0.25)
+
+    def test_rejects_nonpositive_concurrency(self):
+        with pytest.raises(ConfigurationError, match="max_concurrency"):
+            AsyncAdvisor(max_concurrency=0)
+
+
+class TestAsyncFleetAdvisor:
+    def test_awaited_recommend_and_incremental(self, direct_fleet):
+        problem = FleetProblem.from_dict(FLEET)
+
+        async def drive():
+            advisor = AsyncFleetAdvisor(**ADVISOR_OPTIONS)
+            base = await advisor.recommend(problem)
+            moved = [problem.tenants[0].name]
+            incremental = await advisor.recommend_incremental(
+                problem, base, moved=moved
+            )
+            return base, incremental
+
+        base, incremental = asyncio.run(drive())
+        assert base.canonical_dict() == direct_fleet.canonical_dict()
+        assert isinstance(incremental, FleetReport)
+        assert set(incremental.placement) == set(base.placement)
+
+    def test_awaited_fleet_replay(self, direct_fleet_replay):
+        async def drive():
+            advisor = AsyncFleetAdvisor(**ADVISOR_OPTIONS)
+            return await advisor.replay(
+                WorkloadTrace.from_dict(TRACE),
+                FleetProblem.from_dict(FLEET_FOR_TRACE),
+            )
+
+        report = asyncio.run(drive())
+        assert report.canonical_dict() == direct_fleet_replay.canonical_dict()
+
+
+# ----------------------------------------------------------------------
+# The shared engine
+# ----------------------------------------------------------------------
+class TestAdvisorService:
+    @pytest.fixture()
+    def service(self):
+        with AdvisorService(backend="thread", jobs=2, **ADVISOR_OPTIONS) as service:
+            yield service
+
+    def test_recommend_matches_direct_call(self, service, direct_recommend):
+        report = service.recommend(SCENARIO)
+        assert report.canonical_dict() == direct_recommend.canonical_dict()
+
+    def test_repeat_requests_hit_the_shared_cache(self, service):
+        first = service.recommend(SCENARIO)
+        assert first.cost_stats.evaluations > 0
+        repeat = service.recommend(dict(SCENARIO))  # value-equal document
+        assert repeat.canonical_dict() == first.canonical_dict()
+        # The repeat was answered entirely from the process-wide cache —
+        # the per-request advisor is fresh, the cache pool is not.
+        assert repeat.cost_stats.evaluations == 0
+        assert service.cache_stats().hit_rate > 0
+
+    def test_per_request_advisors_are_fresh_but_share_caches(self, service):
+        first, second = service.advisor(), service.advisor()
+        assert first is not second
+        assert first._shared_caches is service.caches
+        assert second._shared_caches is service.caches
+
+    def test_fleet_matches_direct_call(self, service, direct_fleet):
+        report = service.fleet(FLEET)
+        assert report.canonical_dict() == direct_fleet.canonical_dict()
+
+    def test_replay_document_bare_trace(self, service):
+        report = service.replay_document(dict(TRACE))
+        assert report.mode == "single-machine"
+        assert len(report.periods) == TRACE["n_periods"]
+
+    def test_replay_document_envelope(self, service, direct_fleet_replay):
+        report = service.replay_document(
+            {"trace": TRACE, "fleet": FLEET_FOR_TRACE, "policy": "dynamic"}
+        )
+        assert report.mode == "fleet"
+        assert report.canonical_dict() == direct_fleet_replay.canonical_dict()
+
+    def test_replay_document_rejects_unknown_keys(self, service):
+        with pytest.raises(ConfigurationError, match="unknown replay option"):
+            service.replay_document({"trace": TRACE, "fleets": FLEET_FOR_TRACE})
+
+    def test_rejects_untyped_documents(self, service):
+        with pytest.raises(ConfigurationError, match="Scenario"):
+            service.recommend(42)
+
+    def test_stats_counts_requests_and_caches(self, service):
+        service.recommend(SCENARIO)
+        service.fleet(FLEET)
+        stats = service.stats()
+        assert stats["status"] == "ok"
+        assert stats["backend"] == "thread"
+        assert stats["in_flight"] == 0
+        assert stats["requests"]["recommend"] == 1
+        assert stats["requests"]["fleet"] == 1
+        assert stats["cost_cache"]["caches"] >= 1
+        assert stats["cost_cache"]["hit_rate"] > 0
+
+    def test_async_face_matches_sync(self, service, direct_recommend):
+        async def drive():
+            wrapped = AsyncAdvisorService(service)
+            return await wrapped.recommend(SCENARIO)
+
+        report = asyncio.run(drive())
+        assert report.canonical_dict() == direct_recommend.canonical_dict()
+
+
+# ----------------------------------------------------------------------
+# The HTTP tier
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    service = AdvisorService(backend="thread", jobs=2, **ADVISOR_OPTIONS)
+    http_server = AdvisorHTTPServer(("127.0.0.1", 0), service=service)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+    thread.join(timeout=5)
+
+
+def get(server, path):
+    with urllib.request.urlopen(server.url + path, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def post(server, path, document):
+    request = urllib.request.Request(
+        server.url + path,
+        data=json.dumps(document).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def error_of(callable_):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        callable_()
+    body = json.loads(excinfo.value.read())
+    return excinfo.value.code, body
+
+
+class TestHTTPServer:
+    def test_healthz(self, server):
+        import repro
+
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "version": repro.__version__}
+
+    def test_recommend_round_trip(self, server, direct_recommend):
+        status, body = post(server, "/recommend", SCENARIO)
+        assert status == 200
+        served = RecommendationReport.from_dict(body)
+        assert served.canonical_dict() == direct_recommend.canonical_dict()
+
+    def test_fleet_round_trip(self, server, direct_fleet):
+        status, body = post(server, "/fleet", FLEET)
+        assert status == 200
+        assert FleetReport.from_dict(body).canonical_dict() == (
+            direct_fleet.canonical_dict()
+        )
+
+    def test_replay_round_trip(self, server, direct_replay):
+        status, body = post(
+            server, "/replay", {"trace": TRACE, "policy": "static"}
+        )
+        assert status == 200
+        assert ReplayReport.from_dict(body).canonical_dict() == (
+            direct_replay.canonical_dict()
+        )
+
+    def test_stats_after_traffic(self, server):
+        post(server, "/recommend", SCENARIO)
+        status, body = get(server, "/stats")
+        assert status == 200
+        assert body["requests"]["recommend"] >= 1
+        assert body["cost_cache"]["caches"] >= 1
+
+    def test_unknown_path_is_404(self, server):
+        code, body = error_of(lambda: get(server, "/nope"))
+        assert code == 404 and "error" in body
+
+    def test_wrong_verb_is_405(self, server):
+        code, body = error_of(lambda: get(server, "/recommend"))
+        assert code == 405 and "error" in body
+        code, body = error_of(lambda: post(server, "/healthz", {}))
+        assert code == 405 and "error" in body
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/recommend", data=b"not json"
+        )
+        code, body = error_of(lambda: urllib.request.urlopen(request, timeout=30))
+        assert code == 400 and "error" in body
+
+    def test_invalid_document_is_400(self, server):
+        code, body = error_of(
+            lambda: post(server, "/recommend", {"name": "x", "bogus": 1})
+        )
+        assert code == 400 and "bogus" in body["error"]
+
+    def test_empty_body_is_400(self, server):
+        request = urllib.request.Request(server.url + "/recommend", data=b"")
+        code, body = error_of(lambda: urllib.request.urlopen(request, timeout=30))
+        assert code == 400 and "error" in body
+
+    def test_concurrent_mixed_endpoints_match_direct_calls(
+        self,
+        server,
+        direct_recommend,
+        direct_fleet,
+        direct_replay,
+    ):
+        """N parallel clients, mixed endpoints, two rounds.
+
+        Every response must be bit-identical (canonical_dict) to the
+        corresponding direct library call, and the second round must be
+        answered with shared-cache hits.
+        """
+        requests = [
+            ("/recommend", SCENARIO, RecommendationReport, direct_recommend),
+            ("/fleet", FLEET, FleetReport, direct_fleet),
+            ("/replay", {"trace": TRACE, "policy": "static"}, ReplayReport,
+             direct_replay),
+        ] * 2  # six clients per round, >= 4 concurrent
+
+        def client(spec):
+            path, document, report_cls, expected = spec
+            status, body = post(server, path, document)
+            return status, report_cls.from_dict(body), expected
+
+        for _round in range(2):
+            with ThreadPoolExecutor(max_workers=len(requests)) as pool:
+                results = list(pool.map(client, requests))
+            for status, served, expected in results:
+                assert status == 200
+                assert served.canonical_dict() == expected.canonical_dict()
+
+        status, stats = get(server, "/stats")
+        assert status == 200
+        assert stats["cost_cache"]["hit_rate"] > 0
+        assert stats["requests"]["recommend"] >= 4
+        assert stats["requests"]["fleet"] >= 4
+        assert stats["requests"]["replay"] >= 4
+
+
+# ----------------------------------------------------------------------
+# The CLI entry point (subprocess: serve, announce, answer, shut down)
+# ----------------------------------------------------------------------
+class TestServeSubprocess:
+    def test_serve_announces_answers_and_shuts_down_cleanly(self):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--backend", "thread", "--jobs", "2"],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            line = process.stderr.readline()
+            match = re.search(r"serving on (http://\S+)", line)
+            assert match, f"no announcement in {line!r}"
+            url = match.group(1)
+            with urllib.request.urlopen(url + "/healthz", timeout=30) as response:
+                assert response.status == 200
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
