@@ -9,7 +9,9 @@ document and writing the corresponding JSON report to stdout (or a file):
   honoured.
 * ``fleet <fleet.json>`` — place and configure a
   :class:`~repro.fleet.FleetProblem` with
-  :class:`~repro.fleet.FleetAdvisor` (``--placement`` selects a strategy).
+  :class:`~repro.fleet.FleetAdvisor` (``--placement`` selects a strategy;
+  ``--local-search N`` polishes the answer with up to ``N`` rounds of the
+  swap/move improver).
 * ``replay <trace.json>`` — replay a
   :class:`~repro.traces.WorkloadTrace`; on one machine by default, or
   across a fleet with ``--fleet fleet.json`` (``--policy`` selects
@@ -32,6 +34,7 @@ Examples::
     python -m repro recommend - < scenario.json
     python -m repro fleet fleet.json --placement round-robin -o report.json
     python -m repro fleet fleet.json --backend thread --jobs 4
+    python -m repro fleet fleet.json --local-search 8
     python -m repro replay trace.json --fleet fleet.json --policy static
     python -m repro serve --port 8008 --jobs 8
 """
@@ -121,9 +124,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument(
         "--placement",
-        default="greedy-cost",
+        default=None,
         choices=sorted(PLACEMENTS.names()),
         help="placement strategy (default: greedy-cost)",
+    )
+    fleet.add_argument(
+        "--local-search",
+        type=int,
+        default=None,
+        metavar="ROUNDS",
+        help=(
+            "polish the placement with up to ROUNDS local-search rounds "
+            "(implies --placement greedy-cost+ls unless one is given)"
+        ),
     )
     add_backend_options(fleet)
     add_output_options(fleet)
@@ -220,8 +233,13 @@ def _run_recommend(args: argparse.Namespace) -> str:
 
 def _run_fleet(args: argparse.Namespace) -> str:
     problem = FleetProblem.from_json(_read(args.fleet))
+    if args.local_search is not None:
+        name = args.placement or "greedy-cost+ls"
+        placement = PLACEMENTS.create(name, max_rounds=args.local_search)
+    else:
+        placement = args.placement or "greedy-cost"
     advisor = FleetAdvisor(
-        placement=args.placement, backend=args.backend, jobs=args.jobs
+        placement=placement, backend=args.backend, jobs=args.jobs
     )
     try:
         report = advisor.recommend(problem)

@@ -130,6 +130,9 @@ class CostCallStats:
             optimizations the run forced on the problem's engines.
         plan_cache_hits: what-if questions the engines answered from their
             per-configuration plan caches instead of re-optimizing.
+        placement_solve_hits: whole per-machine solves (placement probes or
+            committed divisions) answered from the fleet solve-memo instead
+            of re-running the enumerator's search.
     """
 
     evaluations: int
@@ -137,6 +140,7 @@ class CostCallStats:
     cache_misses: int
     optimizer_calls: int = 0
     plan_cache_hits: int = 0
+    placement_solve_hits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -155,6 +159,7 @@ class CostCallStats:
             "hit_rate": self.hit_rate,
             "optimizer_calls": self.optimizer_calls,
             "plan_cache_hits": self.plan_cache_hits,
+            "placement_solve_hits": self.placement_solve_hits,
         }
 
     @classmethod
@@ -166,6 +171,7 @@ class CostCallStats:
             cache_misses=data["cache_misses"],
             optimizer_calls=data.get("optimizer_calls", 0),
             plan_cache_hits=data.get("plan_cache_hits", 0),
+            placement_solve_hits=data.get("placement_solve_hits", 0),
         )
 
     def __add__(self, other: "CostCallStats") -> "CostCallStats":
@@ -178,6 +184,8 @@ class CostCallStats:
             cache_misses=self.cache_misses + other.cache_misses,
             optimizer_calls=self.optimizer_calls + other.optimizer_calls,
             plan_cache_hits=self.plan_cache_hits + other.plan_cache_hits,
+            placement_solve_hits=self.placement_solve_hits
+            + other.placement_solve_hits,
         )
 
     def __radd__(self, other: Any) -> "CostCallStats":

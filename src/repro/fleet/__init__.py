@@ -6,9 +6,12 @@ package adds the layer above it for a machine *fleet*:
 * :class:`Machine`, :class:`FleetTenant`, :class:`FleetProblem` — the
   declarative, JSON round-trippable data model of "which tenants, which
   machines, what capacities" (:mod:`repro.fleet.problem`).
-* :data:`PLACEMENTS` and the built-in strategies — ``"greedy-cost"``,
-  ``"round-robin"``, ``"first-fit"`` — behind the same open registry
-  pattern as the per-machine strategies (:mod:`repro.fleet.strategies`).
+* :data:`PLACEMENTS` and the built-in strategies — ``"greedy-cost"`` (and
+  its speculative twin ``"greedy-cost-spec"``), ``"greedy-cost+ls"`` (the
+  local-search improver), ``"exhaustive-fleet"`` (the exact small-fleet
+  baseline), ``"round-robin"``, ``"first-fit"`` — behind the same open
+  registry pattern as the per-machine strategies
+  (:mod:`repro.fleet.strategies`).
 * :class:`FleetAdvisor` — places tenants, then delegates every machine's
   internal split to the existing :class:`repro.api.Advisor` over a shared
   cost cache (:mod:`repro.fleet.advisor`).
@@ -41,23 +44,30 @@ from .problem import (
     Placement,
 )
 from .report import FleetReport, MachineReport
+from .solve_memo import SolveMemo
 from .strategies import (
     PLACEMENTS,
+    ExhaustiveFleetPlacement,
     FirstFitPlacement,
     GreedyCostPlacement,
+    LocalSearchPlacement,
     PlacementSolver,
     PlacementStrategy,
     RoundRobinPlacement,
+    improve_assignment,
 )
 
 __all__ = [
     "DEFAULT_MEMORY_DEMAND_MB",
+    "ExhaustiveFleetPlacement",
     "FirstFitPlacement",
     "FleetAdvisor",
     "FleetProblem",
     "FleetReport",
     "FleetTenant",
     "GreedyCostPlacement",
+    "improve_assignment",
+    "LocalSearchPlacement",
     "Machine",
     "MachineReport",
     "Placement",
@@ -65,4 +75,5 @@ __all__ = [
     "PlacementSolver",
     "PlacementStrategy",
     "RoundRobinPlacement",
+    "SolveMemo",
 ]

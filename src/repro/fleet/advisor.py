@@ -55,6 +55,7 @@ from ..parallel.backends import (
 )
 from .problem import FleetProblem, Machine, Placement
 from .report import FleetReport, MachineReport
+from .solve_memo import DEFAULT_SOLVE_MEMO_SIZE, Infeasible, SolveMemo
 from .strategies import PLACEMENTS, PlacementStrategy, greedy_assign
 
 #: Hardware shape plus calibration overrides: the unit of calibration reuse.
@@ -68,6 +69,12 @@ PlacementSpec = Union[str, PlacementStrategy]
 #: a greedy-cost run (~tenants × machines problems per fleet).
 _TENANT_MEMO_SIZE = 4096
 _PROBLEM_MEMO_SIZE = 1024
+
+#: The accounting a memo-served solve contributes: no evaluations, no
+#: cache traffic — one whole enumerator search skipped.
+_MEMO_HIT_STATS = CostCallStats(
+    evaluations=0, cache_hits=0, cache_misses=0, placement_solve_hits=1
+)
 
 
 def _placement_name(spec: PlacementSpec) -> str:
@@ -165,6 +172,25 @@ class _FleetSolver:
         ]
         return self.backend.run(tasks)
 
+    def submit_probe(self, machine_index: int, tenant_indices: Tuple[int, ...]):
+        """Enqueue one probe now; collect its cost from the handle later.
+
+        The primitive behind speculative pipelined probing (see
+        :func:`~repro.fleet.strategies.greedy_assign`): probes for future
+        decision rounds keep the backend's pool saturated while the caller
+        blocks only on the current round.  On backends without ``submit``
+        (and on the serial backend, whose ``submit`` is deliberately lazy)
+        the returned handle computes on first ``result()`` call, so
+        speculation never costs more than the non-speculative path.
+        """
+        task = self._task(machine_index, tenant_indices, probe=True)
+        submit = getattr(self.backend, "submit", None)
+        if submit is None:
+            from ..parallel.backends import TaskHandle
+
+            return TaskHandle(task.call)
+        return submit(task)
+
     # ------------------------------------------------------------------
     # Per-machine solves
     # ------------------------------------------------------------------
@@ -174,18 +200,16 @@ class _FleetSolver:
         """Divide one machine among a tenant set with the inner advisor.
 
         Returns the per-machine report and its gain-weighted total cost.
-        The cost-call statistics of the solve are folded into
+        The solve itself is served by the fleet advisor's solve-memo when
+        this (hardware, tenant set, advisor config) has been solved before;
+        the cost-call statistics the call newly generated — a memo hit
+        contributes only ``placement_solve_hits`` — are folded into
         :attr:`stats`.
         """
-        ordered = tuple(sorted(tenant_indices))
-        machine = self.problem.machines[machine_index]
-        design = self.fleet_advisor._design_problem(self.problem, machine, ordered)
-        report = self.fleet_advisor.advisor.recommend(design)
-        self._add_stats(report.cost_stats)
-        weighted = sum(
-            tenant.gain_factor * cost
-            for tenant, cost in zip(design.tenants, report.per_workload_costs)
+        report, weighted, stats = self.fleet_advisor.solve_machine(
+            self.problem, machine_index, tenant_indices
         )
+        self._add_stats(stats)
         return report, weighted
 
     def solve_many(
@@ -332,6 +356,18 @@ class FleetAdvisor:
         self._problem_memo: "OrderedDict[Any, VirtualizationDesignProblem]" = (
             OrderedDict()
         )
+        #: Whole per-machine solve results — report + gain-weighted cost —
+        #: keyed by (hardware, tenant-set specs, resource knobs, advisor
+        #: config).  Where the problem memo saves re-*materializing* a
+        #: design and the cost cache saves re-*evaluating* allocations,
+        #: this saves re-*searching*: a repeated placement probe or
+        #: committed division is one dictionary lookup (it has its own
+        #: lock; see :mod:`repro.fleet.solve_memo`).
+        self.solve_memo = SolveMemo(DEFAULT_SOLVE_MEMO_SIZE)
+        #: Lazily computed advisor-configuration token for solve-memo keys
+        #: (the inner advisor's config is fixed for this fleet advisor's
+        #: lifetime, like every other memo here assumes).
+        self._solve_token: Optional[Tuple[Any, ...]] = None
         #: Guards the builder map and both memos.  Concurrent per-machine
         #: solves (thread backend) materialize problems through one fleet
         #: advisor; the reentrant lock keeps the check-then-create chains
@@ -460,12 +496,90 @@ class FleetAdvisor:
         machine = problem.machines[machine_index]
         return self._design_problem(problem, machine, ordered)
 
+    # ------------------------------------------------------------------
+    # Memoized per-machine solves (the placement fast path)
+    # ------------------------------------------------------------------
+    def _advisor_token(self) -> Tuple[Any, ...]:
+        """A hashable token for the inner advisor's configuration.
+
+        Part of every solve-memo key, so results can never be served
+        across differently configured advisors (the worker-side advisors
+        of the process backend are memoized per config and share one memo
+        semantics).  Instance-configured advisors fall back to an identity
+        token — correct for this advisor's lifetime, never shareable.
+        """
+        if self._solve_token is None:
+            try:
+                config = self.advisor.portable_config()
+            except ConfigurationError:
+                config = {"instance": id(self.advisor)}
+            self._solve_token = tuple(sorted(config.items()))
+        return self._solve_token
+
+    def _solve_key(
+        self, problem: FleetProblem, machine: Machine, ordered: Tuple[int, ...]
+    ) -> Tuple[Any, ...]:
+        """The solve-memo key: everything the machine's answer depends on.
+
+        Mirrors the design-problem memo key — hardware shape (+ calibration
+        overrides), tenant-set spec values, resource knobs — plus the
+        advisor-configuration token.  Two machines sharing a
+        ``hardware_key``, or two value-equal fleets, therefore share solve
+        results exactly as they share cost-cache entries.
+        """
+        specs = tuple(problem.tenants[index].spec for index in ordered)
+        return (
+            self._builder_key(machine, problem),
+            specs,
+            problem.resources,
+            problem.fixed_memory_fraction,
+            self._advisor_token(),
+        )
+
+    def solve_machine(
+        self,
+        problem: FleetProblem,
+        machine_index: int,
+        tenant_indices: Tuple[int, ...],
+    ) -> Tuple[RecommendationReport, float, CostCallStats]:
+        """Divide one machine among a tenant set, served from the solve-memo.
+
+        Returns ``(report, gain-weighted cost, stats)`` where ``stats`` is
+        the cost-call accounting this call *newly* generated: the full
+        solve's statistics on a miss, a single ``placement_solve_hits`` on
+        a hit.  Infeasible tenant sets are memoized too — a repeat ask
+        raises an equivalent :class:`~repro.exceptions.OptimizationError`
+        without re-running the search.
+        """
+        ordered = tuple(sorted(tenant_indices))
+        machine = problem.machines[machine_index]
+        key = self._solve_key(problem, machine, ordered)
+        cached = self.solve_memo.get(key)
+        if isinstance(cached, Infeasible):
+            raise OptimizationError(cached.message)
+        if cached is not None:
+            report, weighted = cached
+            return report, weighted, _MEMO_HIT_STATS
+        design = self._design_problem(problem, machine, ordered)
+        try:
+            report = self.advisor.recommend(design)
+        except OptimizationError as error:
+            self.solve_memo.put(key, Infeasible(str(error)))
+            raise
+        weighted = sum(
+            tenant.gain_factor * cost
+            for tenant, cost in zip(design.tenants, report.per_workload_costs)
+        )
+        self.solve_memo.put(key, (report, weighted))
+        return report, weighted, report.cost_stats
+
     def clear_caches(self) -> None:
         """Drop the calibrated builders, memoized problems, and cost caches."""
         with self._memo_lock:
             self._builders.clear()
             self._tenant_memo.clear()
             self._problem_memo.clear()
+        self.solve_memo.clear()
         self.advisor.clear_caches()
 
     # ------------------------------------------------------------------

@@ -29,7 +29,14 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
-from .backends import BACKENDS, DEFAULT_THREAD_JOBS, SolveTask, _check_jobs
+from .backends import (
+    BACKENDS,
+    DEFAULT_THREAD_JOBS,
+    FutureTaskHandle,
+    SolveTask,
+    TaskHandle,
+    _check_jobs,
+)
 
 
 class AsyncioBackend:
@@ -91,6 +98,17 @@ class AsyncioBackend:
             "AsyncioBackend.run() would block the running event loop; "
             "await run_async(tasks) instead"
         )
+
+    def submit(self, task: SolveTask) -> TaskHandle:
+        """Start the task on the executor now; collect via the handle later.
+
+        Submission goes straight to the executor (no event loop needed):
+        the ``jobs``-wide executor bounds concurrency exactly as the
+        per-batch semaphore does, and the synchronous handle lets the
+        speculative-probing driver — which runs outside any loop — overlap
+        work the same way it does on the thread backend.
+        """
+        return FutureTaskHandle(self._ensure_executor().submit(task.call))
 
     def inline(self) -> "AsyncioBackend":
         return self

@@ -31,6 +31,18 @@ A task that cannot ship across processes (e.g. a stateful dynamic-manager
 step) is *inline-only*; drivers route such tasks through
 :meth:`SolverBackend.inline` — the backend itself for serial/thread, a
 thread pool of the same width for the process backend.
+
+Besides the batch-with-a-barrier :meth:`SolverBackend.run`, every built-in
+backend offers :meth:`SolverBackend.submit`: enqueue *one* task now,
+collect its result later via the returned :class:`TaskHandle`.  This is
+the primitive behind speculative pipelined placement probing
+(``docs/parallel.md``): a driver can keep the pool saturated with probes
+for *future* decision rounds while it blocks only on the current round's
+handles.  On pooled backends a submitted task starts immediately; on the
+serial backend the handle is *lazy* — the task runs on first
+:meth:`TaskHandle.result` call, so speculation costs a serial run nothing.
+Custom backends may omit ``submit``; drivers fall back to lazy inline
+handles (correct, just without the overlap).
 """
 
 from __future__ import annotations
@@ -83,9 +95,69 @@ class SolveTask:
         return self.worker is not None and self.payload is not None
 
 
+class TaskHandle:
+    """Deferred result of one submitted task: the task runs on demand.
+
+    The base class is the *lazy* handle (used by the serial backend and as
+    the fallback for custom backends without ``submit``): nothing executes
+    until :meth:`result` is first called, so a driver that speculatively
+    submits work it ends up not needing pays nothing for it.  Pooled
+    backends return :class:`FutureTaskHandle` instead, whose task started
+    executing at submission.
+    """
+
+    __slots__ = ("_call", "_done", "_value")
+
+    def __init__(self, call: Callable[[], Any]) -> None:
+        self._call = call
+        self._done = False
+        self._value: Any = None
+
+    def result(self) -> Any:
+        """The task's result (computing it now if it never ran)."""
+        if not self._done:
+            self._value = self._call()
+            self._done = True
+        return self._value
+
+
+class FutureTaskHandle(TaskHandle):
+    """Handle over a :class:`concurrent.futures.Future` already running.
+
+    ``reassemble`` converts the raw (e.g. pickled-across-processes) result
+    into the caller's type in the collecting thread, exactly as
+    :meth:`SolverBackend.run` applies :attr:`SolveTask.reassemble`.
+    """
+
+    __slots__ = ("_future", "_reassemble")
+
+    def __init__(
+        self, future: Future, reassemble: Optional[Callable[[Any], Any]] = None
+    ) -> None:
+        self._future = future
+        self._reassemble = reassemble
+        self._done = False
+        self._value = None
+
+    def result(self) -> Any:
+        if not self._done:
+            raw = self._future.result()
+            self._value = (
+                self._reassemble(raw) if self._reassemble is not None else raw
+            )
+            self._done = True
+        return self._value
+
+
 @runtime_checkable
 class SolverBackend(Protocol):
-    """Executes a batch of independent solve tasks."""
+    """Executes a batch of independent solve tasks.
+
+    Built-in backends additionally offer ``submit(task) -> TaskHandle``
+    (enqueue one task, collect later); drivers must treat it as optional
+    and fall back to lazy :class:`TaskHandle`\\ s when a custom backend
+    lacks it.
+    """
 
     name: str
     jobs: int
@@ -136,6 +208,15 @@ class SerialBackend:
         """Run every task inline, in submission order."""
         return [task.call() for task in tasks]
 
+    def submit(self, task: SolveTask) -> TaskHandle:
+        """A lazy handle: the task runs on first ``result()`` call.
+
+        Laziness is what makes speculative submission free on the serial
+        backend — a speculative probe whose prediction missed is never
+        executed at all.
+        """
+        return TaskHandle(task.call)
+
     def inline(self) -> "SerialBackend":
         return self
 
@@ -181,6 +262,10 @@ class ThreadBackend:
         pool = self._ensure_pool()
         futures: List[Future] = [pool.submit(task.call) for task in tasks]
         return [future.result() for future in futures]
+
+    def submit(self, task: SolveTask) -> TaskHandle:
+        """Start the task on the pool now; collect via the handle later."""
+        return FutureTaskHandle(self._ensure_pool().submit(task.call))
 
     def inline(self) -> "ThreadBackend":
         return self
@@ -252,6 +337,17 @@ class ProcessBackend:
             task.reassemble(raw) if task.reassemble is not None else raw
             for task, raw in zip(tasks, raw_results)
         ]
+
+    def submit(self, task: SolveTask) -> TaskHandle:
+        """Ship the task's payload to a worker now; reassemble on collect."""
+        if not task.portable:
+            raise ConfigurationError(
+                f"the process backend cannot run the non-portable task "
+                f"{task.label!r}: it has no picklable payload.  Use the "
+                f"thread or serial backend for this operation."
+            )
+        future = self._ensure_pool().submit(task.worker, task.payload)
+        return FutureTaskHandle(future, task.reassemble)
 
     def inline(self) -> ThreadBackend:
         """A thread pool of the same width, for inline-only tasks."""

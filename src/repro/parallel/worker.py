@@ -107,17 +107,17 @@ def _resolve_state(payload: Dict[str, Any]) -> Tuple[Any, Any]:
 
 
 def _solve(payload: Dict[str, Any]) -> Tuple[Any, float, Any]:
-    """Shared solve body: divide one machine among a tenant set."""
+    """Shared solve body: divide one machine among a tenant set.
+
+    Runs through :meth:`~repro.fleet.FleetAdvisor.solve_machine`, so a
+    long-lived worker's memoized fleet advisor serves repeat solves from
+    its solve-memo — the worker ships back ``placement_solve_hits`` in its
+    statistics instead of re-running the search, exactly like the parent.
+    """
     fleet_advisor, problem = _resolve_state(payload)
     machine_index = payload["machine_index"]
     indices = tuple(payload["tenant_indices"])
-    design = fleet_advisor.machine_problem(problem, machine_index, indices)
-    report = fleet_advisor.advisor.recommend(design)
-    weighted = sum(
-        tenant.gain_factor * cost
-        for tenant, cost in zip(design.tenants, report.per_workload_costs)
-    )
-    return report, weighted, report.cost_stats
+    return fleet_advisor.solve_machine(problem, machine_index, indices)
 
 
 def solve_machine(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -204,8 +204,19 @@ class AsyncAdvisorService:
     async def fleet(
         self, document: Any, placement: Optional[str] = None
     ) -> FleetReport:
+        """Place one fleet from a request document.
+
+        ``document`` may be a bare fleet problem or the ``{"fleet": ...,
+        "placement": ..., "local_search": ...}`` envelope (the wire format
+        of ``POST /fleet``); an explicit ``placement`` argument overrides
+        either form.
+        """
         async with self._throttle.slot():
-            return await asyncio.to_thread(self.service.fleet, document, placement)
+            if placement is not None:
+                return await asyncio.to_thread(
+                    self.service.fleet, document, placement
+                )
+            return await asyncio.to_thread(self.service.fleet_document, document)
 
     async def replay(self, document: Any) -> ReplayReport:
         async with self._throttle.slot():

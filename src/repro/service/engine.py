@@ -56,6 +56,9 @@ _PROBLEM_MEMO_SIZE = 64
 #: Keys accepted in a ``/replay`` envelope document.
 _REPLAY_KEYS = ("trace", "fleet", "policy")
 
+#: Keys accepted in a ``/fleet`` envelope document.
+_FLEET_KEYS = ("fleet", "placement", "local_search")
+
 
 class _SharedCachePool(Dict[str, CostCache]):
     """A ``strategy name -> CostCache`` pool safe to extend concurrently.
@@ -237,12 +240,76 @@ class AdvisorService:
             return self.advisor(**parsed.advisor).recommend(problem)
 
     def fleet(
-        self, problem: FleetDocument, placement: Optional[str] = None
+        self,
+        problem: FleetDocument,
+        placement: Optional[str] = None,
+        local_search: Optional[int] = None,
     ) -> FleetReport:
-        """Place and configure one fleet (the ``/fleet`` endpoint)."""
+        """Place and configure one fleet (the ``/fleet`` endpoint).
+
+        ``placement`` selects a registered strategy for this request
+        (unknown names are rejected — an HTTP 400 on the wire);
+        ``local_search`` is the improvement-round budget, implying
+        ``"greedy-cost+ls"`` when no placement is named.
+        """
         parsed = _coerce(problem, FleetProblem, "FleetProblem")
+        spec = self._placement_spec(placement, local_search)
         with self._serving("fleet"):
-            return self.fleet_advisor.recommend(parsed, placement=placement)
+            return self.fleet_advisor.recommend(parsed, placement=spec)
+
+    def _placement_spec(
+        self, placement: Optional[str], local_search: Optional[int]
+    ) -> Any:
+        """Resolve a request's placement selection, validating early.
+
+        Validation happens before request accounting so a bad name or
+        budget is a clean 400 — never a half-served request.
+        """
+        from ..fleet import PLACEMENTS
+
+        if placement is not None and placement not in PLACEMENTS:
+            raise ConfigurationError(
+                f"unknown placement strategy {placement!r}; registered: "
+                f"{', '.join(PLACEMENTS.names())}"
+            )
+        if local_search is None:
+            return placement
+        if isinstance(local_search, bool) or not isinstance(local_search, int):
+            raise ConfigurationError(
+                f"local_search must be an integer improvement-round budget; "
+                f"got {local_search!r}"
+            )
+        if local_search < 0:
+            raise ConfigurationError(
+                f"local_search must be >= 0, got {local_search}"
+            )
+        name = placement if placement is not None else "greedy-cost+ls"
+        return PLACEMENTS.create(name, max_rounds=local_search)
+
+    def fleet_document(self, document: Any) -> FleetReport:
+        """Place one fleet from a request document.
+
+        Accepts either a bare :class:`~repro.fleet.FleetProblem` JSON
+        document, or an envelope ``{"fleet": ..., "placement": ...,
+        "local_search": ...}`` (``placement`` and ``local_search``
+        optional) — the wire format of ``POST /fleet``, mirroring the
+        CLI's ``--placement`` / ``--local-search``.
+        """
+        if isinstance(document, (str, bytes)):
+            document = json.loads(document)
+        if isinstance(document, Mapping) and "fleet" in document:
+            unknown = sorted(set(document) - set(_FLEET_KEYS))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown fleet option(s) {', '.join(map(repr, unknown))}; "
+                    f"expected a subset of {', '.join(_FLEET_KEYS)}"
+                )
+            return self.fleet(
+                document["fleet"],
+                placement=document.get("placement"),
+                local_search=document.get("local_search"),
+            )
+        return self.fleet(document)
 
     def replay(
         self,
@@ -316,7 +383,10 @@ class AdvisorService:
         """Aggregate traffic of the process-wide cost-cache pool.
 
         Per-cache statistics are combined with a plain :func:`sum`
-        (``CostCallStats.__radd__`` absorbs the implicit ``0`` start).
+        (``CostCallStats.__radd__`` absorbs the implicit ``0`` start); the
+        fleet advisor's solve-memo hits ride along as
+        ``placement_solve_hits``, so the ``/stats`` payload reports whole
+        skipped searches next to skipped evaluations.
         """
         per_cache = [
             CostCallStats(
@@ -326,10 +396,13 @@ class AdvisorService:
             )
             for cache in self.caches.snapshot()
         ]
-        total = sum(per_cache)
-        if not isinstance(total, CostCallStats):  # no cache built yet
-            return CostCallStats(evaluations=0, cache_hits=0, cache_misses=0)
-        return total
+        memo_hits = CostCallStats(
+            evaluations=0,
+            cache_hits=0,
+            cache_misses=0,
+            placement_solve_hits=self.fleet_advisor.solve_memo.hits,
+        )
+        return sum(per_cache, memo_hits)
 
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` document: cache traffic, request accounting."""
@@ -344,6 +417,7 @@ class AdvisorService:
             "in_flight": in_flight,
             "requests": requests,
             "cost_cache": {"caches": len(self.caches.snapshot()), **cost.to_dict()},
+            "placement_solve_memo": self.fleet_advisor.solve_memo.stats(),
             "uptime_seconds": time.monotonic() - self._started,
         }
 

@@ -2,12 +2,15 @@
 
 The wire format *is* the library's: ``POST /recommend`` takes a
 :class:`~repro.api.Scenario` JSON document, ``POST /fleet`` a
-:class:`~repro.fleet.FleetProblem`, ``POST /replay`` a
+:class:`~repro.fleet.FleetProblem` (bare, or wrapped as ``{"fleet": ...,
+"placement": ..., "local_search": ...}`` to pick a placement strategy and
+a local-search round budget), ``POST /replay`` a
 :class:`~repro.traces.WorkloadTrace` (bare, or wrapped as ``{"trace": ...,
 "fleet": ..., "policy": ...}``), and each responds with the corresponding
 report's ``to_dict()`` body — byte-equal under ``canonical_dict()`` to the
 direct library call.  ``GET /healthz`` answers liveness; ``GET /stats``
-reports the process-wide cost-cache traffic and in-flight requests.
+reports the process-wide cost-cache traffic (including placement
+solve-memo hits) and in-flight requests.
 
 Threading model: :class:`AdvisorHTTPServer` is a
 :class:`~http.server.ThreadingHTTPServer` (one handler thread per

@@ -96,6 +96,19 @@ class TestFleetCommand:
         assert report["backend"] == "serial"
         assert report["jobs"] == 1
 
+    def test_local_search_flag_implies_the_ls_strategy(self, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        code, greedy_out, _ = run(capsys, ["fleet", path])
+        assert code == 0
+        code, out, err = run(capsys, ["fleet", path, "--local-search", "4"])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["strategy"] == "greedy-cost+ls"
+        greedy = json.loads(greedy_out)
+        assert report["total_weighted_cost"] <= (
+            greedy["total_weighted_cost"] + 1e-9
+        )
+
     def test_thread_backend_flag_matches_serial_answer(self, tmp_path, capsys):
         path = write(tmp_path, "fleet.json", FLEET)
         code, serial_out, _ = run(capsys, ["fleet", path])

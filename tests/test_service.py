@@ -227,6 +227,44 @@ class TestAdvisorService:
         report = service.fleet(FLEET)
         assert report.canonical_dict() == direct_fleet.canonical_dict()
 
+    def test_fleet_document_envelope_selects_placement(self, service, direct_fleet):
+        report = service.fleet_document(
+            {"fleet": FLEET, "placement": "greedy-cost"}
+        )
+        assert report.canonical_dict() == direct_fleet.canonical_dict()
+
+    def test_fleet_document_local_search_budget(self, service, direct_fleet):
+        report = service.fleet_document({"fleet": FLEET, "local_search": 4})
+        assert report.strategy == "greedy-cost+ls"
+        assert report.total_weighted_cost <= (
+            direct_fleet.total_weighted_cost + 1e-9
+        )
+
+    def test_fleet_document_rejects_unknown_keys(self, service):
+        with pytest.raises(ConfigurationError, match="unknown fleet option"):
+            service.fleet_document({"fleet": FLEET, "placment": "greedy-cost"})
+
+    def test_fleet_rejects_unknown_placement(self, service):
+        with pytest.raises(ConfigurationError, match="unknown placement"):
+            service.fleet(FLEET, placement="nope")
+
+    def test_fleet_rejects_bad_local_search_budget(self, service):
+        with pytest.raises(ConfigurationError, match="local_search"):
+            service.fleet(FLEET, local_search=-1)
+        with pytest.raises(ConfigurationError, match="local_search"):
+            service.fleet(FLEET, local_search="many")
+        with pytest.raises(ConfigurationError, match="local_search"):
+            service.fleet(FLEET, local_search=True)
+
+    def test_stats_reports_the_placement_solve_memo(self, service):
+        service.fleet(FLEET)
+        service.fleet(dict(FLEET))  # value-equal repeat: whole-solve hits
+        stats = service.stats()
+        memo = stats["placement_solve_memo"]
+        assert memo["entries"] > 0
+        assert memo["hits"] > 0
+        assert stats["cost_cache"]["placement_solve_hits"] == memo["hits"]
+
     def test_replay_document_bare_trace(self, service):
         report = service.replay_document(dict(TRACE))
         assert report.mode == "single-machine"
@@ -325,6 +363,22 @@ class TestHTTPServer:
         assert FleetReport.from_dict(body).canonical_dict() == (
             direct_fleet.canonical_dict()
         )
+
+    def test_fleet_envelope_round_trip(self, server, direct_fleet):
+        status, body = post(
+            server, "/fleet", {"fleet": FLEET, "placement": "greedy-cost"}
+        )
+        assert status == 200
+        assert FleetReport.from_dict(body).canonical_dict() == (
+            direct_fleet.canonical_dict()
+        )
+
+    def test_fleet_unknown_placement_is_400(self, server):
+        code, body = error_of(
+            lambda: post(server, "/fleet", {"fleet": FLEET, "placement": "nope"})
+        )
+        assert code == 400
+        assert "unknown placement" in body["error"]
 
     def test_replay_round_trip(self, server, direct_replay):
         status, body = post(
