@@ -11,7 +11,9 @@ document and writing the corresponding JSON report to stdout (or a file):
   :class:`~repro.fleet.FleetProblem` with
   :class:`~repro.fleet.FleetAdvisor` (``--placement`` selects a strategy;
   ``--local-search N`` polishes the answer with up to ``N`` rounds of the
-  swap/move improver).
+  swap/move improver; ``--bnb-max-nodes`` / ``--bnb-max-seconds`` budget
+  the exact ``bnb-fleet`` search, degrading to the best incumbent with
+  provenance on exhaustion).
 * ``replay <trace.json>`` — replay a
   :class:`~repro.traces.WorkloadTrace`; on one machine by default, or
   across a fleet with ``--fleet fleet.json`` (``--policy`` selects
@@ -35,6 +37,7 @@ Examples::
     python -m repro fleet fleet.json --placement round-robin -o report.json
     python -m repro fleet fleet.json --backend thread --jobs 4
     python -m repro fleet fleet.json --local-search 8
+    python -m repro fleet fleet.json --placement bnb-fleet --bnb-max-nodes 50000
     python -m repro replay trace.json --fleet fleet.json --policy static
     python -m repro serve --port 8008 --jobs 8
 """
@@ -138,6 +141,29 @@ def _build_parser() -> argparse.ArgumentParser:
             "(implies --placement greedy-cost+ls unless one is given)"
         ),
     )
+    fleet.add_argument(
+        "--bnb-max-nodes",
+        type=int,
+        default=None,
+        metavar="NODES",
+        help=(
+            "node budget for the branch-and-bound search; on exhaustion "
+            "the best incumbent is returned and the report's "
+            "placement_provenance records proven_optimal=false "
+            "(implies --placement bnb-fleet unless one is given)"
+        ),
+    )
+    fleet.add_argument(
+        "--bnb-max-seconds",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "wall-clock budget for the branch-and-bound search, with the "
+            "same best-incumbent degradation as --bnb-max-nodes "
+            "(implies --placement bnb-fleet unless one is given)"
+        ),
+    )
     add_backend_options(fleet)
     add_output_options(fleet)
 
@@ -233,7 +259,28 @@ def _run_recommend(args: argparse.Namespace) -> str:
 
 def _run_fleet(args: argparse.Namespace) -> str:
     problem = FleetProblem.from_json(_read(args.fleet))
-    if args.local_search is not None:
+    bnb_budgets = (
+        args.bnb_max_nodes is not None or args.bnb_max_seconds is not None
+    )
+    if bnb_budgets and args.local_search is not None:
+        raise ReproError(
+            "--local-search selects greedy-cost+ls but --bnb-max-nodes/"
+            "--bnb-max-seconds select bnb-fleet; pass only one family"
+        )
+    if bnb_budgets:
+        name = args.placement or "bnb-fleet"
+        if name != "bnb-fleet":
+            raise ReproError(
+                f"--bnb-max-nodes/--bnb-max-seconds only apply to "
+                f"--placement bnb-fleet, not {name!r}"
+            )
+        options = {}
+        if args.bnb_max_nodes is not None:
+            options["max_nodes"] = args.bnb_max_nodes
+        if args.bnb_max_seconds is not None:
+            options["max_seconds"] = args.bnb_max_seconds
+        placement = PLACEMENTS.create(name, **options)
+    elif args.local_search is not None:
         name = args.placement or "greedy-cost+ls"
         placement = PLACEMENTS.create(name, max_rounds=args.local_search)
     else:

@@ -8,9 +8,10 @@ package adds the layer above it for a machine *fleet*:
   machines, what capacities" (:mod:`repro.fleet.problem`).
 * :data:`PLACEMENTS` and the built-in strategies — ``"greedy-cost"`` (and
   its speculative twin ``"greedy-cost-spec"``), ``"greedy-cost+ls"`` (the
-  local-search improver), ``"exhaustive-fleet"`` (the exact small-fleet
-  baseline), ``"round-robin"``, ``"first-fit"`` — behind the same open
-  registry pattern as the per-machine strategies
+  local-search improver), ``"bnb-fleet"`` (exact branch and bound at
+  paper-sized fleets, :mod:`repro.fleet.bnb`), ``"exhaustive-fleet"``
+  (the exact small-fleet baseline), ``"round-robin"``, ``"first-fit"`` —
+  behind the same open registry pattern as the per-machine strategies
   (:mod:`repro.fleet.strategies`).
 * :class:`FleetAdvisor` — places tenants, then delegates every machine's
   internal split to the existing :class:`repro.api.Advisor` over a shared
@@ -36,6 +37,7 @@ Quick start::
 """
 
 from .advisor import FleetAdvisor
+from .bnb import BnbSearchStats, BranchAndBoundPlacement
 from .problem import (
     DEFAULT_MEMORY_DEMAND_MB,
     FleetProblem,
@@ -58,6 +60,8 @@ from .strategies import (
 )
 
 __all__ = [
+    "BnbSearchStats",
+    "BranchAndBoundPlacement",
     "DEFAULT_MEMORY_DEMAND_MB",
     "ExhaustiveFleetPlacement",
     "FirstFitPlacement",

@@ -84,6 +84,21 @@ def _placement_name(spec: PlacementSpec) -> str:
     return getattr(spec, "name", type(spec).__name__)
 
 
+def _placement_provenance(strategy: Any) -> Optional[Dict[str, Any]]:
+    """The strategy's search accounting for this run, if it keeps one.
+
+    Strategies with a ``last_search`` attribute exposing ``to_dict()``
+    (``"bnb-fleet"``'s :class:`~repro.fleet.bnb.BnbSearchStats`) have it
+    captured immediately after ``place()`` returns, before the strategy
+    can run again, and surfaced as the report's ``placement_provenance``.
+    """
+    last_search = getattr(strategy, "last_search", None)
+    to_dict = getattr(last_search, "to_dict", None)
+    if to_dict is None:
+        return None
+    return to_dict()
+
+
 class _FleetSolver:
     """Prices candidate co-locations for one fleet problem.
 
@@ -645,7 +660,14 @@ class FleetAdvisor:
                 strategy_name = _placement_name(placement)
             assignment = strategy.place(problem, solver)
             placed = Placement(problem, assignment, strategy=strategy_name)
-            return self._finalize(problem, solver, placed, strategy_name, started)
+            return self._finalize(
+                problem,
+                solver,
+                placed,
+                strategy_name,
+                started,
+                provenance=_placement_provenance(strategy),
+            )
         finally:
             solver.release()
             if owned:
@@ -766,6 +788,7 @@ class FleetAdvisor:
         placed: Placement,
         strategy_name: str,
         started: float,
+        provenance: Optional[Dict[str, Any]] = None,
     ) -> FleetReport:
         """Solve every machine of a committed placement and assemble the report.
 
@@ -821,4 +844,5 @@ class FleetAdvisor:
             wall_time_seconds=time.perf_counter() - started,
             backend=getattr(solver.backend, "name", type(solver.backend).__name__),
             jobs=solver.backend.jobs,
+            placement_provenance=provenance,
         )

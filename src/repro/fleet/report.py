@@ -97,6 +97,15 @@ class FleetReport:
             (``"serial"`` / ``"thread"`` / ``"process"``, or a custom
             backend's name) — provenance, not part of the answer.
         jobs: the backend's worker count.
+        placement_provenance: the placement strategy's own account of how
+            it found the assignment, when it keeps one — ``"bnb-fleet"``
+            reports node counts, whether the optimum was *proven* or a
+            budget degraded the answer to the best incumbent, and which
+            budget tripped (see
+            :class:`repro.fleet.bnb.BnbSearchStats.to_dict`).  ``None``
+            for strategies without search accounting.  Provenance, not
+            part of the answer — excluded from :meth:`canonical_dict`
+            (it carries wall-clock fields).
     """
 
     fleet_name: str
@@ -109,6 +118,7 @@ class FleetReport:
     wall_time_seconds: float
     backend: str = "serial"
     jobs: int = 1
+    placement_provenance: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -157,6 +167,11 @@ class FleetReport:
             "wall_time_seconds": self.wall_time_seconds,
             "backend": self.backend,
             "jobs": self.jobs,
+            "placement_provenance": (
+                None
+                if self.placement_provenance is None
+                else dict(self.placement_provenance)
+            ),
         }
 
     def canonical_dict(self) -> Dict[str, Any]:
@@ -198,6 +213,7 @@ class FleetReport:
             wall_time_seconds=data["wall_time_seconds"],
             backend=data.get("backend", "serial"),
             jobs=data.get("jobs", 1),
+            placement_provenance=data.get("placement_provenance"),
         )
 
     @classmethod

@@ -532,9 +532,12 @@ class ExhaustiveFleetPlacement:
             raise ConfigurationError(
                 f"exhaustive-fleet would enumerate {total} assignments "
                 f"({problem.n_machines} machines ^ {problem.n_tenants} "
-                f"tenants), over the max_assignments={self.max_assignments} "
-                f"guard; it is a small-fleet baseline — raise the guard "
-                f"explicitly or use 'greedy-cost+ls'"
+                f"tenants), exceeding its max_assignments budget of "
+                f"{self.max_assignments} (fleets up to the budget run; "
+                f"{total} > {self.max_assignments} does not); it is a "
+                f"small-fleet baseline — raise the guard explicitly, or "
+                f"use 'bnb-fleet' for the same optimum past enumeration "
+                f"scale"
             )
         feasible: List[Tuple[Tuple[int, ...], List[Tuple[int, Tuple[int, ...]]]]] = []
         needed: List[Tuple[int, Tuple[int, ...]]] = []

@@ -57,7 +57,7 @@ _PROBLEM_MEMO_SIZE = 64
 _REPLAY_KEYS = ("trace", "fleet", "policy")
 
 #: Keys accepted in a ``/fleet`` envelope document.
-_FLEET_KEYS = ("fleet", "placement", "local_search")
+_FLEET_KEYS = ("fleet", "placement", "local_search", "max_nodes", "max_seconds")
 
 
 class _SharedCachePool(Dict[str, CostCache]):
@@ -244,21 +244,34 @@ class AdvisorService:
         problem: FleetDocument,
         placement: Optional[str] = None,
         local_search: Optional[int] = None,
+        max_nodes: Optional[int] = None,
+        max_seconds: Optional[float] = None,
     ) -> FleetReport:
         """Place and configure one fleet (the ``/fleet`` endpoint).
 
         ``placement`` selects a registered strategy for this request
         (unknown names are rejected — an HTTP 400 on the wire);
         ``local_search`` is the improvement-round budget, implying
-        ``"greedy-cost+ls"`` when no placement is named.
+        ``"greedy-cost+ls"`` when no placement is named;
+        ``max_nodes`` / ``max_seconds`` budget the exact ``"bnb-fleet"``
+        search (implying it when no placement is named) — on exhaustion
+        the response degrades to the best incumbent and its
+        ``placement_provenance`` records ``proven_optimal: false`` plus
+        which budget tripped.
         """
         parsed = _coerce(problem, FleetProblem, "FleetProblem")
-        spec = self._placement_spec(placement, local_search)
+        spec = self._placement_spec(
+            placement, local_search, max_nodes, max_seconds
+        )
         with self._serving("fleet"):
             return self.fleet_advisor.recommend(parsed, placement=spec)
 
     def _placement_spec(
-        self, placement: Optional[str], local_search: Optional[int]
+        self,
+        placement: Optional[str],
+        local_search: Optional[int],
+        max_nodes: Optional[int] = None,
+        max_seconds: Optional[float] = None,
     ) -> Any:
         """Resolve a request's placement selection, validating early.
 
@@ -272,6 +285,45 @@ class AdvisorService:
                 f"unknown placement strategy {placement!r}; registered: "
                 f"{', '.join(PLACEMENTS.names())}"
             )
+        if max_nodes is not None or max_seconds is not None:
+            if local_search is not None:
+                raise ConfigurationError(
+                    "local_search selects greedy-cost+ls but "
+                    "max_nodes/max_seconds select bnb-fleet; "
+                    "pass only one family"
+                )
+            name = placement if placement is not None else "bnb-fleet"
+            if name != "bnb-fleet":
+                raise ConfigurationError(
+                    f"max_nodes/max_seconds only apply to the bnb-fleet "
+                    f"placement, not {name!r}"
+                )
+            options: Dict[str, Any] = {}
+            if max_nodes is not None:
+                if isinstance(max_nodes, bool) or not isinstance(max_nodes, int):
+                    raise ConfigurationError(
+                        f"max_nodes must be an integer node budget; "
+                        f"got {max_nodes!r}"
+                    )
+                if max_nodes < 1:
+                    raise ConfigurationError(
+                        f"max_nodes must be >= 1, got {max_nodes}"
+                    )
+                options["max_nodes"] = max_nodes
+            if max_seconds is not None:
+                if isinstance(max_seconds, bool) or not isinstance(
+                    max_seconds, (int, float)
+                ):
+                    raise ConfigurationError(
+                        f"max_seconds must be a wall-clock budget in "
+                        f"seconds; got {max_seconds!r}"
+                    )
+                if max_seconds <= 0:
+                    raise ConfigurationError(
+                        f"max_seconds must be positive, got {max_seconds}"
+                    )
+                options["max_seconds"] = float(max_seconds)
+            return PLACEMENTS.create(name, **options)
         if local_search is None:
             return placement
         if isinstance(local_search, bool) or not isinstance(local_search, int):
@@ -291,9 +343,10 @@ class AdvisorService:
 
         Accepts either a bare :class:`~repro.fleet.FleetProblem` JSON
         document, or an envelope ``{"fleet": ..., "placement": ...,
-        "local_search": ...}`` (``placement`` and ``local_search``
-        optional) — the wire format of ``POST /fleet``, mirroring the
-        CLI's ``--placement`` / ``--local-search``.
+        "local_search": ..., "max_nodes": ..., "max_seconds": ...}``
+        (everything but ``fleet`` optional) — the wire format of
+        ``POST /fleet``, mirroring the CLI's ``--placement`` /
+        ``--local-search`` / ``--bnb-max-nodes`` / ``--bnb-max-seconds``.
         """
         if isinstance(document, (str, bytes)):
             document = json.loads(document)
@@ -308,6 +361,8 @@ class AdvisorService:
                 document["fleet"],
                 placement=document.get("placement"),
                 local_search=document.get("local_search"),
+                max_nodes=document.get("max_nodes"),
+                max_seconds=document.get("max_seconds"),
             )
         return self.fleet(document)
 

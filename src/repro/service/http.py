@@ -3,8 +3,11 @@
 The wire format *is* the library's: ``POST /recommend`` takes a
 :class:`~repro.api.Scenario` JSON document, ``POST /fleet`` a
 :class:`~repro.fleet.FleetProblem` (bare, or wrapped as ``{"fleet": ...,
-"placement": ..., "local_search": ...}`` to pick a placement strategy and
-a local-search round budget), ``POST /replay`` a
+"placement": ..., "local_search": ..., "max_nodes": ..., "max_seconds":
+...}`` to pick a placement strategy, a local-search round budget, or
+``bnb-fleet`` search budgets — a budget-exhausted exact search degrades
+to its best incumbent and says so in the response's
+``placement_provenance``), ``POST /replay`` a
 :class:`~repro.traces.WorkloadTrace` (bare, or wrapped as ``{"trace": ...,
 "fleet": ..., "policy": ...}``), and each responds with the corresponding
 report's ``to_dict()`` body — byte-equal under ``canonical_dict()`` to the

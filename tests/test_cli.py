@@ -130,6 +130,42 @@ class TestFleetCommand:
         with pytest.raises(SystemExit):
             main(["fleet", path, "--backend", "gpu"])
 
+    def test_bnb_placement_reports_search_provenance(self, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        code, out, err = run(capsys, ["fleet", path, "--placement", "bnb-fleet"])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["strategy"] == "bnb-fleet"
+        provenance = report["placement_provenance"]
+        assert provenance["proven_optimal"] is True
+        assert provenance["nodes_explored"] < provenance["full_tree_size"]
+
+    def test_bnb_budget_flags_imply_bnb_and_degrade(self, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        code, out, err = run(capsys, ["fleet", path, "--bnb-max-nodes", "1"])
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["strategy"] == "bnb-fleet"
+        provenance = report["placement_provenance"]
+        assert provenance["proven_optimal"] is False
+        assert provenance["budget_exhausted"] == "nodes"
+        assert set(report["placement"]) == {"t1", "t2", "t3"}
+
+    def test_bnb_budget_flags_reject_other_placements(self, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        code, _, err = run(
+            capsys,
+            ["fleet", path, "--placement", "greedy-cost", "--bnb-max-nodes", "5"],
+        )
+        assert code == 2
+        assert "bnb-fleet" in err
+        code, _, err = run(
+            capsys,
+            ["fleet", path, "--local-search", "2", "--bnb-max-seconds", "1"],
+        )
+        assert code == 2
+        assert "one family" in err
+
 
 class TestReplayCommand:
     def test_single_machine_replay(self, tmp_path, capsys):

@@ -14,7 +14,9 @@ gap that ``greedy-cost+ls`` must close.
 """
 
 import math
-from concurrent.futures import Future
+import random
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 
 import pytest
 from hypothesis import HealthCheck, given, settings
@@ -125,6 +127,95 @@ class TestSolveMemo:
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ConfigurationError):
             SolveMemo(0)
+
+
+# ----------------------------------------------------------------------
+# SolveMemo eviction under concurrent solvers
+# ----------------------------------------------------------------------
+class TestSolveMemoConcurrency:
+    def test_lru_bound_and_counters_hold_under_a_thread_hammer(self):
+        # Many threads race put/get on a tiny memo over a key space wider
+        # than the bound, forcing constant eviction.  The LRU bound must
+        # hold at every observation point and the counters must add up.
+        memo = SolveMemo(8)
+        bound_violations = []
+        gets_per_worker = [0] * 8
+
+        def worker(worker_index):
+            rng = random.Random(worker_index)
+            for _ in range(400):
+                key = ("k", rng.randrange(32))
+                if rng.random() < 0.5:
+                    memo.put(key, worker_index)
+                else:
+                    memo.get(key)
+                    gets_per_worker[worker_index] += 1
+                if len(memo) > memo.max_entries:
+                    bound_violations.append(len(memo))
+
+        threads = [
+            threading.Thread(target=worker, args=(index,)) for index in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not bound_violations
+        assert len(memo) <= memo.max_entries
+        stats = memo.stats()
+        assert stats["hits"] + stats["misses"] == sum(gets_per_worker)
+        assert stats["entries"] <= stats["max_entries"]
+
+    def test_concurrent_fleet_solves_respect_a_tiny_memo_bound(self):
+        # Concurrent whole-fleet recommends on one advisor (the served
+        # tier's shape) against a memo too small to hold a run's distinct
+        # tenant sets: eviction races must never break the LRU bound, the
+        # stats accounting, or answer equality.
+        problem = small_fleet()
+        advisor = FleetAdvisor(delta=0.25, backend="thread", jobs=4)
+        advisor.solve_memo = SolveMemo(4)
+        try:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                reports = list(
+                    pool.map(
+                        lambda _: advisor.recommend(
+                            problem, placement="greedy-cost+ls"
+                        ),
+                        range(3),
+                    )
+                )
+        finally:
+            advisor.backend.close()
+        assert len(advisor.solve_memo) <= 4
+        stats = advisor.solve_memo.stats()
+        assert stats["entries"] <= stats["max_entries"]
+        # Every memo hit happens inside exactly one run's solver, so the
+        # global counter is the sum of the per-report attributions even
+        # when the runs race.
+        assert stats["hits"] == sum(
+            report.cost_stats.placement_solve_hits for report in reports
+        )
+        first = reports[0].canonical_dict()
+        assert all(report.canonical_dict() == first for report in reports[1:])
+
+    def test_warm_resolve_after_concurrent_races_is_all_hits(self):
+        # With the default-size memo, racing runs must leave a consistent
+        # cache behind: a subsequent warm recommend misses nothing.
+        problem = small_fleet()
+        advisor = FleetAdvisor(delta=0.25, backend="thread", jobs=4)
+        try:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                list(
+                    pool.map(
+                        lambda _: advisor.recommend(problem), range(3)
+                    )
+                )
+            misses_before = advisor.solve_memo.misses
+            warm = advisor.recommend(problem)
+        finally:
+            advisor.backend.close()
+        assert advisor.solve_memo.misses == misses_before
+        assert warm.cost_stats.placement_solve_hits > 0
 
 
 # ----------------------------------------------------------------------
@@ -394,6 +485,29 @@ class TestLocalSearch:
         solver = _FleetSolver(shared_advisor, problem, SerialBackend())
         with pytest.raises(ConfigurationError, match="max_assignments"):
             ExhaustiveFleetPlacement(max_assignments=8).place(problem, solver)
+
+    def test_exhaustive_guard_message_reports_both_sides(self, shared_advisor):
+        # Regression: the guard must name the budget it compared against,
+        # not just the assignment count that tripped it.
+        problem = small_fleet()  # 2 machines ^ 4 tenants = 16 assignments
+        solver = _FleetSolver(shared_advisor, problem, SerialBackend())
+        with pytest.raises(ConfigurationError) as excinfo:
+            ExhaustiveFleetPlacement(max_assignments=15).place(problem, solver)
+        message = str(excinfo.value)
+        assert "16" in message  # what it would enumerate
+        assert "15" in message  # the budget it exceeded
+        assert "16 > 15" in message  # the comparison, explicitly
+
+    def test_exhaustive_runs_at_exactly_max_assignments(self, shared_advisor):
+        # Regression for the boundary: a fleet of *exactly* the budget's
+        # size must run (the budget is inclusive), and return the same
+        # answer as an unguarded run.
+        problem = small_fleet()  # exactly 16 assignments
+        solver = _FleetSolver(shared_advisor, problem, SerialBackend())
+        at_budget = ExhaustiveFleetPlacement(max_assignments=16).place(
+            problem, solver
+        )
+        assert at_budget == ExhaustiveFleetPlacement().place(problem, solver)
 
     def test_exhaustive_infeasible_fleet_raises_placement_error(
         self, shared_advisor

@@ -256,6 +256,42 @@ class TestAdvisorService:
         with pytest.raises(ConfigurationError, match="local_search"):
             service.fleet(FLEET, local_search=True)
 
+    def test_fleet_document_bnb_budget_implies_bnb(self, service):
+        report = service.fleet_document({"fleet": FLEET, "max_nodes": 50_000})
+        assert report.strategy == "bnb-fleet"
+        assert report.placement_provenance["proven_optimal"] is True
+        assert report.placement_provenance["budget_exhausted"] is None
+
+    def test_fleet_bnb_budget_exhaustion_degrades_with_provenance(self, service):
+        # An absurdly small node budget: the response is still a complete
+        # placement (the seed incumbent), with the degradation recorded.
+        report = service.fleet_document({"fleet": FLEET, "max_nodes": 1})
+        assert report.strategy == "bnb-fleet"
+        provenance = report.placement_provenance
+        assert provenance["proven_optimal"] is False
+        assert provenance["budget_exhausted"] == "nodes"
+        assert set(report.placement) == {
+            tenant["name"] for tenant in FLEET["tenants"]
+        }
+
+    def test_fleet_rejects_bad_bnb_budgets(self, service):
+        with pytest.raises(ConfigurationError, match="max_nodes"):
+            service.fleet(FLEET, max_nodes=0)
+        with pytest.raises(ConfigurationError, match="max_nodes"):
+            service.fleet(FLEET, max_nodes="lots")
+        with pytest.raises(ConfigurationError, match="max_nodes"):
+            service.fleet(FLEET, max_nodes=True)
+        with pytest.raises(ConfigurationError, match="max_seconds"):
+            service.fleet(FLEET, max_seconds=0)
+        with pytest.raises(ConfigurationError, match="max_seconds"):
+            service.fleet(FLEET, max_seconds="fast")
+
+    def test_fleet_rejects_bnb_budgets_on_other_placements(self, service):
+        with pytest.raises(ConfigurationError, match="bnb-fleet"):
+            service.fleet(FLEET, placement="greedy-cost", max_nodes=10)
+        with pytest.raises(ConfigurationError, match="one family"):
+            service.fleet(FLEET, local_search=2, max_nodes=10)
+
     def test_stats_reports_the_placement_solve_memo(self, service):
         service.fleet(FLEET)
         service.fleet(dict(FLEET))  # value-equal repeat: whole-solve hits
@@ -372,6 +408,18 @@ class TestHTTPServer:
         assert FleetReport.from_dict(body).canonical_dict() == (
             direct_fleet.canonical_dict()
         )
+
+    def test_fleet_bnb_envelope_carries_provenance(self, server):
+        status, body = post(
+            server,
+            "/fleet",
+            {"fleet": FLEET, "placement": "bnb-fleet", "max_nodes": 50_000},
+        )
+        assert status == 200
+        assert body["strategy"] == "bnb-fleet"
+        assert body["placement_provenance"]["proven_optimal"] is True
+        report = FleetReport.from_dict(body)
+        assert "placement_provenance" not in report.canonical_dict()
 
     def test_fleet_unknown_placement_is_400(self, server):
         code, body = error_of(
