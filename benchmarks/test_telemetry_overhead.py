@@ -1,0 +1,91 @@
+"""Telemetry overhead gate — tracing must cost under 5% on a fleet solve.
+
+The tracer's design rule is "pay for what you use": instrumentation
+sites cost one attribute load and a branch while tracing is off, and the
+coarse-span discipline (one ``leaf=True`` span per hot loop, events
+instead of per-node spans) keeps the *enabled* cost proportional to the
+number of phases, not the amount of work.  This benchmark holds that
+promise to a number on the 12-tenant × 4-machine fleet used across the
+placement benchmarks: a fully traced cold solve must land within 5% of
+the untraced one (plus a small absolute allowance so sub-100 ms solves
+do not gate on scheduler jitter).
+
+Metrics are always on, so both arms carry the registry updates — the
+gate isolates exactly what ``--trace-out`` / ``--profile`` / ``serve
+--trace`` switch on.  Wired into the CI benchmark-smoke job with a
+wall-clock ceiling like the other benchmarks.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.experiments.fleet import build_fleet_problem
+from repro.fleet import FleetAdvisor, FleetProblem
+from repro.telemetry import configure_tracing, disable_tracing, get_tracer
+
+N_TENANTS = 12
+N_MACHINES = 4
+
+#: Cold solves per arm; best-of damps warm-up and scheduler noise.
+ROUNDS = 5
+
+#: Relative gate plus an absolute floor: ``traced <= untraced * 1.05 + 0.05``.
+RELATIVE_GATE = 1.05
+ABSOLUTE_SLACK_SECONDS = 0.05
+
+
+def _fleet_problem() -> FleetProblem:
+    base = build_fleet_problem(n_tenants=N_TENANTS, n_machines=N_MACHINES)
+    data = base.to_dict()
+    # Coarse calibration grid, as in test_fleet_placement.py: the
+    # one-time calibration stays cheap relative to the placement search.
+    data["calibration"] = {"cpu_shares": [0.25, 0.5, 0.75, 1.0]}
+    return FleetProblem.from_dict(data)
+
+
+def _best_cold_solve_seconds() -> float:
+    """Best-of-``ROUNDS`` cold solves on fresh advisors (no shared memo)."""
+    best = float("inf")
+    for _round in range(ROUNDS):
+        advisor = FleetAdvisor(delta=0.25)
+        problem = _fleet_problem()
+        started = time.perf_counter()
+        advisor.recommend(problem)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _untraced_vs_traced():
+    untraced_best = _best_cold_solve_seconds()
+    configure_tracing()
+    try:
+        traced_best = _best_cold_solve_seconds()
+        traced_ring = len(get_tracer().ring)
+    finally:
+        disable_tracing()
+    return untraced_best, traced_best, traced_ring
+
+
+def test_telemetry_overhead_under_5_percent(benchmark):
+    untraced_best, traced_best, traced_ring = run_once(
+        benchmark, _untraced_vs_traced
+    )
+
+    overhead = (
+        traced_best / untraced_best - 1.0 if untraced_best > 0 else 0.0
+    )
+    print(
+        f"\nTelemetry overhead — {N_TENANTS} tenants × {N_MACHINES} machines, "
+        f"best of {ROUNDS} cold solves per arm:\n"
+        f"  tracing off {untraced_best * 1000:.1f} ms\n"
+        f"  tracing on  {traced_best * 1000:.1f} ms  → {overhead:+.1%}"
+    )
+
+    # The traced arm really traced: one completed tree per cold solve.
+    assert traced_ring >= ROUNDS
+    # The gate: within 5%, with an absolute floor for sub-100 ms solves.
+    assert traced_best <= untraced_best * RELATIVE_GATE + ABSOLUTE_SLACK_SECONDS, (
+        f"tracing overhead {overhead:+.1%} exceeds the 5% budget "
+        f"({traced_best:.3f}s traced vs {untraced_best:.3f}s untraced)"
+    )

@@ -4,8 +4,10 @@
 Boots the HTTP serving tier as a real subprocess (ephemeral port), POSTs
 the 12-tenant × 4-machine fleet fixture used across the benchmarks, and
 asserts the served answer is canonically identical to a direct serial
-library solve.  Finishes by checking ``/healthz`` and ``/stats`` and
-sending SIGTERM, which must produce a clean exit.  Run from the repo
+library solve.  Scrapes ``/metrics`` and checks the request counters and
+latency histogram recorded the solve, then finishes by checking
+``/healthz`` and ``/stats`` and sending SIGTERM, which must produce a
+clean exit.  Run from the repo
 root with ``PYTHONPATH=src python scripts/service_smoke.py``; exits 0 on
 success, 1 with a diagnostic on any failure.
 """
@@ -39,6 +41,20 @@ def get(url: str) -> dict:
     with urllib.request.urlopen(url, timeout=READ_TIMEOUT_SECONDS) as response:
         assert response.status == 200, f"{url} -> {response.status}"
         return json.loads(response.read())
+
+
+def get_text(url: str) -> str:
+    with urllib.request.urlopen(url, timeout=READ_TIMEOUT_SECONDS) as response:
+        assert response.status == 200, f"{url} -> {response.status}"
+        return response.read().decode("utf-8")
+
+
+def metric_value(text: str, sample: str) -> float:
+    """The value of one exposition line, e.g. ``foo_total{a="b"}``."""
+    for line in text.splitlines():
+        if line.startswith(sample + " "):
+            return float(line.split()[-1])
+    raise AssertionError(f"no sample {sample!r} in /metrics output")
 
 
 def post(url: str, document: dict) -> dict:
@@ -82,9 +98,30 @@ def main() -> int:
         print(f"served answer matches library: "
               f"total_weighted_cost={served.total_weighted_cost:.6f}")
 
+        metrics = get_text(base + "/metrics")
+        served = metric_value(metrics, 'repro_requests_total{endpoint="fleet"}')
+        assert served == 1, f"expected one served fleet request, got {served}"
+        http_ok = metric_value(
+            metrics, 'repro_http_requests_total{endpoint="/fleet",status="200"}'
+        )
+        assert http_ok == 1, f"expected one 200 on /fleet, got {http_ok}"
+        finite_buckets = [
+            line
+            for line in metrics.splitlines()
+            if line.startswith('repro_request_latency_seconds_bucket{endpoint="fleet"')
+            and '"+Inf"' not in line
+        ]
+        assert any(float(line.split()[-1]) > 0 for line in finite_buckets), (
+            "no finite request-latency bucket recorded the fleet solve:\n"
+            + "\n".join(finite_buckets)
+        )
+        print("metrics scrape OK: request counters and latency histogram populated")
+
         stats = get(base + "/stats")
+        assert stats["schema_version"] == 2, stats
         assert stats["requests"]["fleet"] == 1, stats
         assert stats["in_flight"] == 0, stats
+        assert stats["telemetry"]["tracing_enabled"] is False, stats
 
         server.send_signal(signal.SIGTERM)
         code = server.wait(timeout=30)

@@ -39,7 +39,8 @@ Examples::
     python -m repro fleet fleet.json --local-search 8
     python -m repro fleet fleet.json --placement bnb-fleet --bnb-max-nodes 50000
     python -m repro replay trace.json --fleet fleet.json --policy static
-    python -m repro serve --port 8008 --jobs 8
+    python -m repro fleet fleet.json --profile --trace-out traces.jsonl
+    python -m repro serve --port 8008 --jobs 8 --trace
 """
 
 from __future__ import annotations
@@ -90,6 +91,26 @@ def _build_parser() -> argparse.ArgumentParser:
             help="worker count for the chosen backend (default: per-backend)",
         )
 
+    def add_telemetry_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--trace-out",
+            type=Path,
+            default=None,
+            metavar="FILE",
+            help=(
+                "enable tracing and append each completed trace tree to "
+                "FILE as one JSON line"
+            ),
+        )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help=(
+                "enable tracing and print a per-phase time breakdown to "
+                "stderr after the run"
+            ),
+        )
+
     def add_output_options(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "--indent",
@@ -114,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "scenario", type=Path,
         help="path to a Scenario JSON file, or - to read it from stdin",
     )
+    add_telemetry_options(recommend)
     add_output_options(recommend)
 
     fleet = commands.add_parser(
@@ -165,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_backend_options(fleet)
+    add_telemetry_options(fleet)
     add_output_options(fleet)
 
     replay = commands.add_parser(
@@ -192,6 +215,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replay policy (default: dynamic)",
     )
     add_backend_options(replay)
+    add_telemetry_options(replay)
     add_output_options(replay)
 
     serve = commands.add_parser(
@@ -199,8 +223,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="host the advisor over HTTP",
         description=(
             "Serve POST /recommend, /fleet, and /replay (the same JSON "
-            "documents as the subcommands) plus GET /healthz and /stats; "
-            "runs until SIGINT/SIGTERM."
+            "documents as the subcommands) plus GET /healthz, /stats, "
+            "/metrics, and /trace/<id>; runs until SIGINT/SIGTERM."
         ),
     )
     serve.add_argument(
@@ -232,6 +256,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--verbose", action="store_true", help="log each handled request"
+    )
+    serve.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable tracing; completed request traces are listed in "
+            "GET /stats and served by GET /trace/<id>"
+        ),
+    )
+    serve.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "enable tracing and additionally append each completed trace "
+            "tree to FILE as one JSON line"
+        ),
     )
 
     return parser
@@ -341,17 +383,50 @@ _RUNNERS = {
 }
 
 
+def _print_profile() -> None:
+    """Print the most recent trace's per-phase breakdown to stderr."""
+    from .telemetry.trace import format_profile, get_tracer
+
+    tracer = get_tracer()
+    trace_ids = tracer.ring.trace_ids()
+    if not trace_ids:
+        print("profile: no trace recorded", file=sys.stderr)
+        return
+    print(format_profile(tracer.ring.get(trace_ids[-1])), file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    # Telemetry is opt-in per invocation: --version, argparse errors, and
+    # untraced runs never touch the tracer.
+    tracing = bool(
+        trace_out is not None
+        or getattr(args, "profile", False)
+        or getattr(args, "trace", False)
+    )
     try:
+        if tracing:
+            from .telemetry import configure_tracing
+
+            configure_tracing(
+                trace_out=str(trace_out) if trace_out is not None else None
+            )
         document = _RUNNERS[args.command](args)
         if document is not None:
             _emit(document, args.output)
+        if getattr(args, "profile", False):
+            _print_profile()
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        if tracing:
+            from .telemetry import disable_tracing
+
+            disable_tracing()
     return 0
 
 

@@ -48,6 +48,8 @@ from ..core.problem import (
 from ..core.refinement import RefinementResult
 from ..exceptions import ConfigurationError
 from ..monitoring.metrics import improvement_over_default, relative_improvement
+from ..telemetry.instruments import SOLVE_LATENCY
+from ..telemetry.trace import get_tracer
 from .cache import CachedCostFunction, CostCache
 from .report import (
     CostCallStats,
@@ -324,22 +326,37 @@ class Advisor:
         optimizer_before = sum(e.optimizer_call_count() for e in engines)
         plan_hits_before = sum(e.plan_cache_hit_count() for e in engines)
 
-        result = search.enumerate(problem, costs)
-        recommendation = self._to_recommendation(problem, costs, result)
-        tenants = self._tenant_reports(problem, costs, recommendation)
+        # The solve is one leaf span: the enumerator's inner loop is far
+        # too hot for per-evaluation spans, so the cache-traffic delta is
+        # recorded as attributes instead.
+        with get_tracer().span(
+            "advisor.recommend",
+            leaf=True,
+            tenants=len(problem.tenants),
+            enumerator=type(search).__name__,
+        ) as span:
+            result = search.enumerate(problem, costs)
+            recommendation = self._to_recommendation(problem, costs, result)
+            tenants = self._tenant_reports(problem, costs, recommendation)
+            stats = CostCallStats(
+                evaluations=costs.evaluations - evaluations_before,
+                cache_hits=costs.cache.hits - hits_before,
+                cache_misses=costs.cache.misses - misses_before,
+                optimizer_calls=(
+                    sum(e.optimizer_call_count() for e in engines) - optimizer_before
+                ),
+                plan_cache_hits=(
+                    sum(e.plan_cache_hit_count() for e in engines) - plan_hits_before
+                ),
+            )
+            span.set_attributes(
+                evaluations=stats.evaluations,
+                cache_hits_delta=stats.cache_hits,
+                cache_misses_delta=stats.cache_misses,
+            )
 
         elapsed = time.perf_counter() - started
-        stats = CostCallStats(
-            evaluations=costs.evaluations - evaluations_before,
-            cache_hits=costs.cache.hits - hits_before,
-            cache_misses=costs.cache.misses - misses_before,
-            optimizer_calls=(
-                sum(e.optimizer_call_count() for e in engines) - optimizer_before
-            ),
-            plan_cache_hits=(
-                sum(e.plan_cache_hit_count() for e in engines) - plan_hits_before
-            ),
-        )
+        SOLVE_LATENCY.observe(elapsed)
         provenance = StrategyProvenance(
             enumerator=(
                 self._enumerator_name if enumerator is None

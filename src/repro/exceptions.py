@@ -50,3 +50,7 @@ class PlacementError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload description is malformed."""
+
+
+class TelemetryError(ReproError):
+    """A telemetry sink or instrument could not be set up or written."""

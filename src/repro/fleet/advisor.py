@@ -53,6 +53,8 @@ from ..parallel.backends import (
     SolverBackend,
     resolve_backend,
 )
+from ..telemetry.instruments import PLACEMENT_PROBES, PROBE_LATENCY
+from ..telemetry.trace import get_tracer
 from .problem import FleetProblem, Machine, Placement
 from .report import FleetReport, MachineReport
 from .solve_memo import DEFAULT_SOLVE_MEMO_SIZE, Infeasible, SolveMemo
@@ -165,10 +167,14 @@ class _FleetSolver:
         ``+inf`` so cost-aware strategies simply avoid it; only a machine
         the placement actually commits to may raise.
         """
+        started = time.perf_counter()
         try:
             report, weighted = self.solve(machine_index, tenant_indices)
         except OptimizationError:
             return math.inf
+        finally:
+            PROBE_LATENCY.observe(time.perf_counter() - started)
+            PLACEMENT_PROBES.inc()
         return weighted
 
     def machine_costs(
@@ -221,9 +227,16 @@ class _FleetSolver:
         contributes only ``placement_solve_hits`` — are folded into
         :attr:`stats`.
         """
-        report, weighted, stats = self.fleet_advisor.solve_machine(
-            self.problem, machine_index, tenant_indices
-        )
+        with get_tracer().span(
+            "solve.machine",
+            leaf=True,
+            machine=self.problem.machines[machine_index].name,
+            tenants=len(tenant_indices),
+        ) as span:
+            report, weighted, stats = self.fleet_advisor.solve_machine(
+                self.problem, machine_index, tenant_indices
+            )
+            span.set_attribute("memo_hit", stats is _MEMO_HIT_STATS)
         self._add_stats(stats)
         return report, weighted
 
@@ -259,10 +272,19 @@ class _FleetSolver:
             reassemble = self._reassemble_solve
         payload: Optional[Dict[str, Any]] = None
         if getattr(self.backend, "requires_portable_tasks", False):
+            tracer = get_tracer()
+            current = tracer.current
             payload = {
                 **self._portable(),
                 "machine_index": machine_index,
                 "tenant_indices": tuple(sorted(tenant_indices)),
+                # Workers record their own span subtree and ship it back
+                # with the result — but only when the submitting context
+                # would record a span itself (tracing on, not inside a
+                # suppressing leaf region).
+                "trace": bool(
+                    tracer.enabled and current is not None and not current.leaf
+                ),
             }
         return SolveTask(
             call=call,
@@ -311,12 +333,14 @@ class _FleetSolver:
     def _reassemble_probe(self, raw: Mapping[str, Any]) -> float:
         if raw["stats"] is not None:
             self._add_stats(CostCallStats.from_dict(raw["stats"]))
+        get_tracer().graft(raw.get("spans"))
         return math.inf if raw["weighted"] is None else raw["weighted"]
 
     def _reassemble_solve(
         self, raw: Mapping[str, Any]
     ) -> Tuple[RecommendationReport, float]:
         self._add_stats(CostCallStats.from_dict(raw["stats"]))
+        get_tracer().graft(raw.get("spans"))
         return RecommendationReport.from_dict(raw["report"]), raw["weighted"]
 
 
@@ -658,16 +682,34 @@ class FleetAdvisor:
             else:
                 strategy = self._resolve_placement(placement)
                 strategy_name = _placement_name(placement)
-            assignment = strategy.place(problem, solver)
-            placed = Placement(problem, assignment, strategy=strategy_name)
-            return self._finalize(
-                problem,
-                solver,
-                placed,
-                strategy_name,
-                started,
-                provenance=_placement_provenance(strategy),
-            )
+            memo_hits_before = self.solve_memo.hits
+            with get_tracer().span(
+                "fleet.recommend",
+                fleet=problem.name,
+                tenants=problem.n_tenants,
+                machines=problem.n_machines,
+                strategy=strategy_name,
+                backend=getattr(run_backend, "name", type(run_backend).__name__),
+                jobs=run_backend.jobs,
+            ) as root:
+                with get_tracer().span("placement.place", strategy=strategy_name):
+                    assignment = strategy.place(problem, solver)
+                placed = Placement(problem, assignment, strategy=strategy_name)
+                report = self._finalize(
+                    problem,
+                    solver,
+                    placed,
+                    strategy_name,
+                    started,
+                    provenance=_placement_provenance(strategy),
+                )
+                root.set_attributes(
+                    evaluations=solver.stats.evaluations,
+                    cache_hits_delta=solver.stats.cache_hits,
+                    memo_hits_delta=self.solve_memo.hits - memo_hits_before,
+                    total_weighted_cost=report.total_weighted_cost,
+                )
+            return report
         finally:
             solver.release()
             if owned:
@@ -700,12 +742,22 @@ class FleetAdvisor:
         :meth:`recommend`.
         """
         started = time.perf_counter()
+        moved = tuple(moved) if moved is not None else None
         run_backend, owned = self._resolve_run_backend(backend, jobs)
         solver = _FleetSolver(self, problem, run_backend)
         try:
-            return self._recommend_incremental(
-                problem, previous, moved, solver, started
-            )
+            with get_tracer().span(
+                "fleet.recommend_incremental",
+                fleet=problem.name,
+                tenants=problem.n_tenants,
+                machines=problem.n_machines,
+                backend=getattr(run_backend, "name", type(run_backend).__name__),
+                jobs=run_backend.jobs,
+                moved=len(moved) if moved is not None else 0,
+            ):
+                return self._recommend_incremental(
+                    problem, previous, moved, solver, started
+                )
         finally:
             solver.release()
             if owned:
@@ -801,12 +853,13 @@ class FleetAdvisor:
             for machine_index in range(problem.n_machines)
             if placed.tenants_on(machine_index)
         ]
-        solved = dict(
-            zip(
-                (index for index, _ in occupied),
-                solver.solve_many(occupied),
+        with get_tracer().span("fleet.finalize", machines=len(occupied)):
+            solved = dict(
+                zip(
+                    (index for index, _ in occupied),
+                    solver.solve_many(occupied),
+                )
             )
-        )
 
         machine_reports: List[MachineReport] = []
         total_cost = 0.0

@@ -60,6 +60,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError, PlacementError
+from ..telemetry.instruments import BNB_NODES, BNB_PRUNED
+from ..telemetry.trace import get_tracer
 from .problem import FleetProblem
 from .strategies import (
     PLACEMENTS,
@@ -83,6 +85,11 @@ DEFAULT_MAX_NODES = 200_000
 #: Sentinel distinguishing "default seed" from an explicit ``seed=None``
 #: (run unseeded).
 _DEFAULT_SEED = object()
+
+#: Nodes between ``progress`` events on the ``bnb.search`` span.  The
+#: search prices thousands of nodes per second, so per-node events would
+#: dominate the trace; a coarse cadence keeps long searches observable.
+_PROGRESS_EVERY = 2000
 
 #: Symmetry class of one machine: machines sharing this key (and their
 #: current tenant set) are physically interchangeable for placement.
@@ -321,21 +328,31 @@ class BranchAndBoundPlacement:
         incumbent: Optional[Tuple[int, ...]] = None
         incumbent_cost = math.inf
         if self.seed is not None:
-            try:
-                seed_assignment = self.seed.place(problem, solver)
-            except PlacementError:
-                # Greedy construction is incomplete — its failure does not
-                # prove infeasibility, so the exact search proceeds alone.
-                seed_assignment = None
-            if seed_assignment is not None:
-                seeded_cost = self._assignment_cost(
-                    problem, solver, seed_assignment
-                )
-                incumbent = canonical_assignment(seed_assignment, classes)
-                incumbent_cost = seeded_cost
+            with get_tracer().span(
+                "bnb.seed", strategy=getattr(self.seed, "name", type(self.seed).__name__)
+            ) as seed_span:
+                try:
+                    seed_assignment = self.seed.place(problem, solver)
+                except PlacementError:
+                    # Greedy construction is incomplete — its failure does
+                    # not prove infeasibility, so the exact search proceeds
+                    # alone.
+                    seed_assignment = None
+                if seed_assignment is not None:
+                    seeded_cost = self._assignment_cost(
+                        problem, solver, seed_assignment
+                    )
+                    incumbent = canonical_assignment(seed_assignment, classes)
+                    incumbent_cost = seeded_cost
+                    seed_span.set_attribute("seeded_cost", seeded_cost)
 
         # --- Admissible bound ingredients (one batch at the root) -----
-        best_alone = best_alone_costs(problem, solver)
+        # One leaf span: the T×M solo probes fan out through the solver
+        # backend, far too many for per-probe spans.
+        with get_tracer().span(
+            "bnb.bound", leaf=True, tenants=n_tenants, machines=n_machines
+        ):
+            best_alone = best_alone_costs(problem, solver)
         suffix_bound = [0.0] * (n_tenants + 1)
         for depth in range(n_tenants - 1, -1, -1):
             suffix_bound[depth] = (
@@ -358,11 +375,31 @@ class BranchAndBoundPlacement:
             started + self.max_seconds if self.max_seconds is not None else None
         )
         budget_exhausted: Optional[str] = None
+        # One leaf span covers the whole tree walk; coarse ``progress``
+        # events (every ``_PROGRESS_EVERY`` nodes) keep it observable.
+        search_span = get_tracer().span(
+            "bnb.search", leaf=True, max_nodes=self.max_nodes
+        )
+        search_span.__enter__()
+        state["span"] = search_span
+        state["next_report"] = _PROGRESS_EVERY
         try:
-            self._search(problem, solver, order, classes, suffix_bound,
-                         state, depth=0, deadline=deadline)
-        except _BudgetExhausted as exhausted:
-            budget_exhausted = exhausted.which
+            try:
+                self._search(problem, solver, order, classes, suffix_bound,
+                             state, depth=0, deadline=deadline)
+            except _BudgetExhausted as exhausted:
+                budget_exhausted = exhausted.which
+            search_span.set_attributes(
+                nodes=state["nodes"],
+                pruned=state["pruned"],
+                leaves=state["leaves"],
+                incumbent_updates=state["updates"],
+                budget_exhausted=budget_exhausted,
+            )
+        finally:
+            search_span.__exit__(None, None, None)
+        BNB_NODES.inc(state["nodes"])
+        BNB_PRUNED.inc(state["pruned"])
 
         best = state["incumbent"]
         best_cost = state["incumbent_cost"]
@@ -439,6 +476,17 @@ class BranchAndBoundPlacement:
         if state["nodes"] + len(children) > self.max_nodes:
             raise _BudgetExhausted("nodes")
         state["nodes"] += len(children)
+        if state["nodes"] >= state["next_report"]:
+            state["next_report"] = state["nodes"] + _PROGRESS_EVERY
+            incumbent_cost = state["incumbent_cost"]
+            state["span"].event(
+                "progress",
+                nodes=state["nodes"],
+                pruned=state["pruned"],
+                incumbent_cost=(
+                    None if math.isinf(incumbent_cost) else incumbent_cost
+                ),
+            )
         costs = _price_candidates(solver, children)
 
         # Bound each child; order survivors best-bound-first so tight

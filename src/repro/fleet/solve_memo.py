@@ -38,6 +38,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from ..exceptions import ConfigurationError
+from ..telemetry.instruments import MEMO_HITS, MEMO_MISSES
 
 #: Bound on retained solve results.  A greedy+local-search run over a
 #: T-tenant × M-machine fleet touches O(T·M + T²) distinct tenant sets;
@@ -93,10 +94,15 @@ class SolveMemo:
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return entry
+            else:
+                self._entries.move_to_end(key)
+                self._hits += 1
+        # Outside the memo lock: the process-wide counters have their own.
+        if entry is None:
+            MEMO_MISSES.inc()
+            return None
+        MEMO_HITS.inc()
+        return entry
 
     def put(self, key: Hashable, value: Any) -> None:
         """Store a solve result (or :class:`Infeasible`), evicting LRU-first."""

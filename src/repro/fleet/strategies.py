@@ -31,10 +31,13 @@ co-locations, keeping strategies free of calibration and advisor plumbing.
 from __future__ import annotations
 
 import itertools
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from ..api.strategies import StrategyRegistry
 from ..exceptions import ConfigurationError, PlacementError
+from ..telemetry.trace import get_tracer
 from .problem import FleetProblem
 
 #: How many future tenants' probe rounds the speculative mode pre-prices.
@@ -86,6 +89,34 @@ class PlacementStrategy(Protocol):
 
 #: Registry of placement strategies (``placement=`` on the FleetAdvisor).
 PLACEMENTS = StrategyRegistry("placement")
+
+
+@dataclass(frozen=True)
+class PlacementRunStats:
+    """Minimal search accounting for the heuristic placement strategies.
+
+    The greedy family's counterpart to the exact solver's
+    ``BnbSearchStats``: strategies store one on ``last_search`` after
+    every ``place()`` call, and the fleet advisor surfaces its
+    ``to_dict()`` as the report's ``placement_provenance`` — so traces
+    and reports agree on what ran, whichever strategy placed the fleet.
+
+    ``probes`` counts candidate co-locations the strategy asked the
+    solver to price (speculative submissions included — on the lazy
+    serial handle a mispredicted probe may never execute, but it was
+    part of this run's search).
+    """
+
+    strategy: str
+    probes: int
+    wall_time_seconds: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "probes": self.probes,
+            "wall_time_seconds": self.wall_time_seconds,
+        }
 
 
 def _unplaceable(
@@ -178,6 +209,7 @@ def greedy_assign(
     current_cost: List[float],
     speculate: bool = False,
     lookahead: int = DEFAULT_LOOKAHEAD,
+    run_stats: Optional[Dict[str, Any]] = None,
 ) -> Tuple[int, ...]:
     """Greedily commit each tenant in ``order`` to its cheapest machine.
 
@@ -204,8 +236,49 @@ def greedy_assign(
     """
     batch_costs = getattr(solver, "machine_costs", None)
     submit_probe = getattr(solver, "submit_probe", None) if speculate else None
+    probes = 0
     #: In-flight speculative probes keyed by (machine, candidate tuple).
     pending: Dict[Tuple[int, Tuple[int, ...]], Any] = {}
+    # One leaf span wraps the whole assignment loop: probe rounds are far
+    # too hot for per-probe spans, so commits are recorded as events.
+    span = get_tracer().span(
+        "greedy.assign", leaf=True, tenants=len(order), speculate=bool(submit_probe)
+    )
+    span.__enter__()
+    try:
+        return _greedy_assign_body(
+            problem,
+            solver,
+            order,
+            assignment,
+            loads,
+            current_cost,
+            lookahead,
+            batch_costs,
+            submit_probe,
+            pending,
+            span,
+            run_stats,
+        )
+    finally:
+        span.__exit__(None, None, None)
+
+
+def _greedy_assign_body(
+    problem: FleetProblem,
+    solver: PlacementSolver,
+    order: List[int],
+    assignment: List[Optional[int]],
+    loads: List[List[int]],
+    current_cost: List[float],
+    lookahead: int,
+    batch_costs: Any,
+    submit_probe: Any,
+    pending: Dict[Tuple[int, Tuple[int, ...]], Any],
+    span: Any,
+    run_stats: Optional[Dict[str, Any]],
+) -> Tuple[int, ...]:
+    probes = 0
     for position, tenant_index in enumerate(order):
         # The candidate machines of one tenant are priced as a batch: on a
         # parallel solver backend the probes fan out, and because costs
@@ -221,6 +294,7 @@ def greedy_assign(
             for key in fitting:
                 if key not in pending:
                     pending[key] = submit_probe(*key)
+                    probes += 1
             # Speculation: submit the next rounds' probes before blocking
             # on this round's, predicting that the machines they target
             # are left untouched by the intervening commits.
@@ -230,14 +304,17 @@ def greedy_assign(
                     key = (machine_index, speculative)
                     if key not in pending and solver.fits(machine_index, speculative):
                         pending[key] = submit_probe(machine_index, speculative)
+                        probes += 1
             costs = [pending.pop(key).result() for key in fitting]
         elif batch_costs is not None:
             costs = batch_costs(fitting)
+            probes += len(fitting)
         else:
             costs = [
                 solver.machine_cost(machine_index, candidate)
                 for machine_index, candidate in fitting
             ]
+            probes += len(fitting)
         best_machine: Optional[int] = None
         best_increase = float("inf")
         best_cost = 0.0
@@ -252,6 +329,10 @@ def greedy_assign(
         loads[best_machine].append(tenant_index)
         current_cost[best_machine] = best_cost
         assignment[tenant_index] = best_machine
+        span.event("commit", tenant=tenant_index, machine=best_machine)
+    span.set_attribute("probes", probes)
+    if run_stats is not None:
+        run_stats["probes"] = run_stats.get("probes", 0) + probes
     return tuple(assignment)  # type: ignore[arg-type]
 
 
@@ -289,22 +370,35 @@ class GreedyCostPlacement:
         self.lookahead = lookahead
         if speculate:
             self.name = "greedy-cost-spec"
+        #: Accounting for the most recent ``place()`` call, surfaced by the
+        #: fleet advisor as the report's ``placement_provenance``.
+        self.last_search: Optional[PlacementRunStats] = None
 
     def place(self, problem: FleetProblem, solver: PlacementSolver) -> Tuple[int, ...]:
         """Greedily commit each tenant to its cheapest feasible machine."""
         order = list(range(problem.n_tenants))
         if self.sort_by_gain:
             order.sort(key=lambda index: (-problem.tenants[index].gain_factor, index))
-        return greedy_assign(
-            problem,
-            solver,
-            order,
-            assignment=[None] * problem.n_tenants,
-            loads=[[] for _ in problem.machines],
-            current_cost=[0.0 for _ in problem.machines],
-            speculate=self.speculate,
-            lookahead=self.lookahead,
-        )
+        run_stats: Dict[str, Any] = {}
+        started = time.perf_counter()
+        try:
+            return greedy_assign(
+                problem,
+                solver,
+                order,
+                assignment=[None] * problem.n_tenants,
+                loads=[[] for _ in problem.machines],
+                current_cost=[0.0 for _ in problem.machines],
+                speculate=self.speculate,
+                lookahead=self.lookahead,
+                run_stats=run_stats,
+            )
+        finally:
+            self.last_search = PlacementRunStats(
+                strategy=self.name,
+                probes=run_stats.get("probes", 0),
+                wall_time_seconds=time.perf_counter() - started,
+            )
 
 
 def _price_candidates(
@@ -325,6 +419,7 @@ def improve_assignment(
     solver: PlacementSolver,
     assignment: Sequence[int],
     max_rounds: int = 12,
+    run_stats: Optional[Dict[str, Any]] = None,
 ) -> Tuple[int, ...]:
     """Local search over an assignment: moves and swaps to a fixed point.
 
@@ -339,6 +434,34 @@ def improve_assignment(
     enumerated in a fixed order and a strictly-better delta is required to
     displace the incumbent, so ties keep the earliest candidate.
     """
+    # One leaf span for the whole search; per-round progress is recorded
+    # as events (rounds re-price mostly-memoized sets, far too hot for
+    # per-candidate spans).
+    span = get_tracer().span(
+        "placement.improve",
+        leaf=True,
+        tenants=problem.n_tenants,
+        max_rounds=max_rounds,
+    )
+    span.__enter__()
+    try:
+        return _improve_assignment_body(
+            problem, solver, assignment, max_rounds, span, run_stats
+        )
+    finally:
+        span.__exit__(None, None, None)
+
+
+def _improve_assignment_body(
+    problem: FleetProblem,
+    solver: PlacementSolver,
+    assignment: Sequence[int],
+    max_rounds: int,
+    span: Any,
+    run_stats: Optional[Dict[str, Any]],
+) -> Tuple[int, ...]:
+    probes = 0
+    rounds = 0
     assignment = list(assignment)
     loads: List[List[int]] = [[] for _ in problem.machines]
     for tenant_index, machine_index in enumerate(assignment):
@@ -357,6 +480,7 @@ def improve_assignment(
             _price_candidates(solver, occupied),
         )
     )
+    probes += len(occupied)
 
     def machine_cost_now(machine_index: int) -> float:
         return current.get(machine_index, 0.0)
@@ -419,6 +543,9 @@ def improve_assignment(
         if not moves:
             break
         priced = dict(zip(needed, _price_candidates(solver, needed)))
+        probes += len(needed)
+        rounds += 1
+        span.event("round", candidates=len(moves), priced=len(needed))
 
         def cost_of(machine_index: int, tenant_set: Tuple[int, ...]) -> float:
             return priced[(machine_index, tenant_set)] if tenant_set else 0.0
@@ -453,6 +580,9 @@ def improve_assignment(
             source_tenant, target_tenant = who
             assignment[source_tenant] = target
             assignment[target_tenant] = source
+    span.set_attributes(probes=probes, rounds=rounds)
+    if run_stats is not None:
+        run_stats["probes"] = run_stats.get("probes", 0) + probes
     return tuple(assignment)
 
 
@@ -493,13 +623,32 @@ class LocalSearchPlacement:
                 sort_by_gain=sort_by_gain, speculate=speculate, lookahead=lookahead
             )
         )
+        #: Accounting for the most recent ``place()`` call (construction
+        #: and improvement probes combined).
+        self.last_search: Optional[PlacementRunStats] = None
 
     def place(self, problem: FleetProblem, solver: PlacementSolver) -> Tuple[int, ...]:
         """Construct greedily, then improve to a fixed point or budget."""
-        assignment = self.base.place(problem, solver)
-        return improve_assignment(
-            problem, solver, assignment, max_rounds=self.max_rounds
-        )
+        run_stats: Dict[str, Any] = {}
+        started = time.perf_counter()
+        try:
+            assignment = self.base.place(problem, solver)
+            base_search = getattr(self.base, "last_search", None)
+            if base_search is not None:
+                run_stats["probes"] = base_search.probes
+            return improve_assignment(
+                problem,
+                solver,
+                assignment,
+                max_rounds=self.max_rounds,
+                run_stats=run_stats,
+            )
+        finally:
+            self.last_search = PlacementRunStats(
+                strategy=self.name,
+                probes=run_stats.get("probes", 0),
+                wall_time_seconds=time.perf_counter() - started,
+            )
 
 
 class ExhaustiveFleetPlacement:

@@ -29,6 +29,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Optional, Sequence
 
 from ..exceptions import ConfigurationError
+from ..telemetry.trace import get_tracer
 from .backends import (
     BACKENDS,
     DEFAULT_THREAD_JOBS,
@@ -78,12 +79,16 @@ class AsyncioBackend:
         # The semaphore must belong to the *running* loop, so it is per
         # batch rather than per backend (one backend may serve many loops).
         semaphore = asyncio.Semaphore(self.jobs)
+        # Trace context is captured on the submitting thread, before the
+        # calls hop to executor threads (no-op while tracing is disabled).
+        bind = get_tracer().bind
+        calls = [bind(task.call) for task in tasks]
 
-        async def bounded(task: SolveTask) -> Any:
+        async def bounded(call: Any) -> Any:
             async with semaphore:
-                return await loop.run_in_executor(executor, task.call)
+                return await loop.run_in_executor(executor, call)
 
-        return list(await asyncio.gather(*(bounded(task) for task in tasks)))
+        return list(await asyncio.gather(*(bounded(call) for call in calls)))
 
     def run(self, tasks: Sequence[SolveTask]) -> List[Any]:
         """Run a batch from synchronous code (a private loop per batch)."""
@@ -108,7 +113,9 @@ class AsyncioBackend:
         speculative-probing driver — which runs outside any loop — overlap
         work the same way it does on the thread backend.
         """
-        return FutureTaskHandle(self._ensure_executor().submit(task.call))
+        return FutureTaskHandle(
+            self._ensure_executor().submit(get_tracer().bind(task.call))
+        )
 
     def inline(self) -> "AsyncioBackend":
         return self

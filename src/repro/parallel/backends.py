@@ -54,6 +54,7 @@ from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Unio
 
 from ..api.strategies import StrategyRegistry
 from ..exceptions import ConfigurationError
+from ..telemetry.trace import get_tracer
 
 #: Default worker count when ``jobs`` is not given.  Threads overlap
 #: latency (RPC-shaped what-if calls) regardless of core count, so their
@@ -260,12 +261,18 @@ class ThreadBackend:
             # One task gains nothing from a dispatch round-trip.
             return [task.call() for task in tasks]
         pool = self._ensure_pool()
-        futures: List[Future] = [pool.submit(task.call) for task in tasks]
+        # bind() re-homes each call under the submitting thread's current
+        # trace span (a no-op pass-through while tracing is disabled), so
+        # pool-thread spans attach to the right parent.
+        bind = get_tracer().bind
+        futures: List[Future] = [pool.submit(bind(task.call)) for task in tasks]
         return [future.result() for future in futures]
 
     def submit(self, task: SolveTask) -> TaskHandle:
         """Start the task on the pool now; collect via the handle later."""
-        return FutureTaskHandle(self._ensure_pool().submit(task.call))
+        return FutureTaskHandle(
+            self._ensure_pool().submit(get_tracer().bind(task.call))
+        )
 
     def inline(self) -> "ThreadBackend":
         return self

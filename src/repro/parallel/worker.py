@@ -120,14 +120,42 @@ def _solve(payload: Dict[str, Any]) -> Tuple[Any, float, Any]:
     return fleet_advisor.solve_machine(problem, machine_index, indices)
 
 
+def _traced_solve(payload: Dict[str, Any]) -> Tuple[Any, float, Any, Any]:
+    """Run the shared solve body, recording spans when the payload asks.
+
+    When the payload carries ``"trace": True`` the worker records its own
+    span subtree under :meth:`~repro.telemetry.trace.Tracer.capture` and
+    returns it as the fourth element — the parent grafts it into the live
+    trace on reassembly, the same way the cost-call statistics merge.
+    """
+    if not payload.get("trace"):
+        report, weighted, stats = _solve(payload)
+        return report, weighted, stats, None
+    import os
+
+    from ..telemetry.trace import get_tracer
+
+    with get_tracer().capture(
+        "solve.machine",
+        machine_index=payload["machine_index"],
+        tenants=len(payload["tenant_indices"]),
+        worker_pid=os.getpid(),
+    ) as captured:
+        report, weighted, stats = _solve(payload)
+    return report, weighted, stats, captured.trace
+
+
 def solve_machine(payload: Dict[str, Any]) -> Dict[str, Any]:
     """Worker entry point: full per-machine solve → report + stats."""
-    report, weighted, stats = _solve(payload)
-    return {
+    report, weighted, stats, spans = _traced_solve(payload)
+    result = {
         "report": report.to_dict(),
         "weighted": weighted,
         "stats": stats.to_dict(),
     }
+    if spans is not None:
+        result["spans"] = spans
+    return result
 
 
 def probe_machine(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -141,7 +169,10 @@ def probe_machine(payload: Dict[str, Any]) -> Dict[str, Any]:
     from ..exceptions import OptimizationError
 
     try:
-        _report, weighted, stats = _solve(payload)
+        _report, weighted, stats, spans = _traced_solve(payload)
     except OptimizationError:
         return {"weighted": None, "stats": None}
-    return {"weighted": weighted, "stats": stats.to_dict()}
+    result: Dict[str, Any] = {"weighted": weighted, "stats": stats.to_dict()}
+    if spans is not None:
+        result["spans"] = spans
+    return result

@@ -43,6 +43,8 @@ from ..exceptions import ConfigurationError
 from ..fleet import FleetAdvisor, FleetProblem
 from ..fleet.report import FleetReport
 from ..parallel import BackendSpec, resolve_backend
+from ..telemetry.instruments import IN_FLIGHT, REQUEST_LATENCY, REQUESTS_TOTAL
+from ..telemetry.trace import get_tracer
 from ..traces import FleetTraceReplayer, TraceReplayer, WorkloadTrace
 from ..traces.replay import POLICY_DYNAMIC, ReplayReport
 from ..virt.machine import PhysicalMachine
@@ -52,6 +54,11 @@ from ..virt.machine import PhysicalMachine
 _BUILDER_POOL_SIZE = 8
 #: How many distinct scenario problems the service keeps materialized.
 _PROBLEM_MEMO_SIZE = 64
+
+#: Version of the ``/stats`` payload shape.  Bumped whenever a field is
+#: added, renamed, or removed, so clients can dispatch without sniffing
+#: keys; see ``docs/service.md`` for the per-version shapes.
+STATS_SCHEMA_VERSION = 2
 
 #: Keys accepted in a ``/replay`` envelope document.
 _REPLAY_KEYS = ("trace", "fleet", "policy")
@@ -428,9 +435,17 @@ class AdvisorService:
         with self._lock:
             self._in_flight += 1
             self._requests[kind] = self._requests.get(kind, 0) + 1
+        REQUESTS_TOTAL.labels(endpoint=kind).inc()
+        IN_FLIGHT.inc()
+        started = time.perf_counter()
         try:
-            yield
+            with get_tracer().span(f"service.{kind}", endpoint=kind):
+                yield
         finally:
+            REQUEST_LATENCY.labels(endpoint=kind).observe(
+                time.perf_counter() - started
+            )
+            IN_FLIGHT.dec()
             with self._lock:
                 self._in_flight -= 1
 
@@ -465,14 +480,20 @@ class AdvisorService:
         with self._lock:
             in_flight = self._in_flight
             requests = dict(self._requests)
+        tracer = get_tracer()
         return {
             "status": "ok",
+            "schema_version": STATS_SCHEMA_VERSION,
             "backend": getattr(self.backend, "name", type(self.backend).__name__),
             "jobs": self.backend.jobs,
             "in_flight": in_flight,
             "requests": requests,
             "cost_cache": {"caches": len(self.caches.snapshot()), **cost.to_dict()},
             "placement_solve_memo": self.fleet_advisor.solve_memo.stats(),
+            "telemetry": {
+                "tracing_enabled": tracer.enabled,
+                "recent_traces": list(tracer.ring.trace_ids()),
+            },
             "uptime_seconds": time.monotonic() - self._started,
         }
 

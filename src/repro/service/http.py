@@ -13,7 +13,11 @@ to its best incumbent and says so in the response's
 report's ``to_dict()`` body — byte-equal under ``canonical_dict()`` to the
 direct library call.  ``GET /healthz`` answers liveness; ``GET /stats``
 reports the process-wide cost-cache traffic (including placement
-solve-memo hits) and in-flight requests.
+solve-memo hits) and in-flight requests; ``GET /metrics`` exposes the
+process-wide metrics registry in Prometheus text format; ``GET
+/trace/<id>`` returns one completed trace from the tracer's in-memory
+ring (enable tracing with ``--trace`` or ``--trace-out``; 404 when
+tracing is off or the id has aged out).
 
 Threading model: :class:`AdvisorHTTPServer` is a
 :class:`~http.server.ThreadingHTTPServer` (one handler thread per
@@ -42,6 +46,9 @@ from typing import Any, Dict, Optional, TextIO, Tuple
 
 from .. import __version__
 from ..exceptions import ReproError
+from ..telemetry.instruments import HTTP_REQUESTS_TOTAL
+from ..telemetry.metrics import get_registry
+from ..telemetry.trace import get_tracer
 from .async_api import DEFAULT_MAX_CONCURRENCY, AsyncAdvisorService
 from .engine import AdvisorService
 
@@ -103,15 +110,56 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    _GET_PATHS = ("/healthz", "/stats")
+    _GET_PATHS = ("/healthz", "/stats", "/metrics")
     _POST_PATHS = ("/recommend", "/fleet", "/replay")
+
+    @classmethod
+    def _route(cls, path: str) -> str:
+        """The bounded endpoint label for a request path.
+
+        Known routes label as themselves, trace lookups collapse to one
+        label, and everything else is ``"other"`` — so client typos can
+        never grow the ``repro_http_requests_total`` label space.
+        """
+        if path in cls._GET_PATHS or path in cls._POST_PATHS:
+            return path
+        if path.startswith("/trace/"):
+            return "/trace/<id>"
+        return "other"
 
     def do_GET(self) -> None:
         path = self.path.split("?", 1)[0]
+        self._endpoint = self._route(path)
+        with get_tracer().span(
+            "http.request", method="GET", endpoint=self._endpoint
+        ) as span:
+            self._span = span
+            self._routed_get(path)
+
+    def _routed_get(self, path: str) -> None:
         if path == "/healthz":
             self._send(200, {"status": "ok", "version": __version__})
         elif path == "/stats":
             self._send(200, self.server.async_service.stats())
+        elif path == "/metrics":
+            self._send_bytes(
+                200,
+                get_registry().render().encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        elif path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            trace = get_tracer().ring.get(trace_id)
+            if trace is None:
+                self._send(
+                    404,
+                    {
+                        "error": f"no trace {trace_id!r} in the ring "
+                        f"(tracing disabled, or the trace aged out)"
+                    },
+                )
+            else:
+                self._send(200, trace)
         elif path in self._POST_PATHS:
             self._method_not_allowed("POST")
         else:
@@ -119,7 +167,15 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         path = self.path.split("?", 1)[0]
-        if path in self._GET_PATHS:
+        self._endpoint = self._route(path)
+        with get_tracer().span(
+            "http.request", method="POST", endpoint=self._endpoint
+        ) as span:
+            self._span = span
+            self._routed_post(path)
+
+    def _routed_post(self, path: str) -> None:
+        if path in self._GET_PATHS or path.startswith("/trace/"):
             self._method_not_allowed("GET")
             return
         if path not in self._POST_PATHS:
@@ -154,21 +210,35 @@ class AdvisorRequestHandler(BaseHTTPRequestHandler):
         return json.loads(body)
 
     def _send(self, status: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._send_bytes(status, json.dumps(payload).encode("utf-8"), "application/json")
+
+    def _send_bytes(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+        endpoint = getattr(self, "_endpoint", "other")
+        HTTP_REQUESTS_TOTAL.labels(endpoint=endpoint, status=str(status)).inc()
+        span = getattr(self, "_span", None)
+        if span is not None:
+            span.set_attribute("status", status)
 
     def _method_not_allowed(self, allowed: str) -> None:
-        body = json.dumps({"error": f"use {allowed} for {self.path}"}).encode("utf-8")
-        self.send_response(405)
-        self.send_header("Allow", allowed)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_bytes(
+            405,
+            json.dumps({"error": f"use {allowed} for {self.path}"}).encode("utf-8"),
+            "application/json",
+            extra_headers=(("Allow", allowed),),
+        )
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if self.server.verbose:

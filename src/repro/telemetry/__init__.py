@@ -1,0 +1,58 @@
+"""Solve-pipeline telemetry: structured tracing and a metrics registry.
+
+Two independent, zero-dependency layers:
+
+* :mod:`repro.telemetry.trace` — a :class:`Tracer` producing nested
+  :class:`Span`\\ s with thread-local context propagation across every
+  solver backend, emitting completed traces to pluggable sinks (an
+  in-memory ring the HTTP server reads for ``GET /trace/<id>``, plus an
+  optional JSONL file).  Off by default; a disabled tracer is a no-op.
+* :mod:`repro.telemetry.metrics` — counters, gauges, and fixed-bucket
+  histograms in a process-wide :class:`MetricsRegistry` with
+  Prometheus-text exposition (``GET /metrics``).  Always on.
+
+Neither layer ever touches an answer: spans and metrics observe the
+pipeline, and nothing here enters any report's ``canonical_dict()``.
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from .trace import (
+    InMemorySink,
+    JsonlSink,
+    Span,
+    Tracer,
+    configure_tracing,
+    disable_tracing,
+    format_profile,
+    get_tracer,
+    leaf_wall_fraction,
+    span_table,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "LATENCY_BUCKETS",
+    "get_registry",
+    "InMemorySink",
+    "JsonlSink",
+    "Span",
+    "Tracer",
+    "configure_tracing",
+    "disable_tracing",
+    "format_profile",
+    "get_tracer",
+    "leaf_wall_fraction",
+    "span_table",
+]

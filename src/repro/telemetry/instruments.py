@@ -1,0 +1,118 @@
+"""The solve pipeline's well-known instruments, bound once at import.
+
+Every hot path shares these module-level handles instead of re-resolving
+``REGISTRY.counter(...)`` per call: an update is one lock acquisition.
+The registry is process-wide, so a served tier, an embedded advisor, and
+a CLI run all land in the same families — and ``GET /metrics`` exposes
+exactly this set (plus whatever else registered).
+
+Process-backend workers update their *own* process's registry; worker
+metrics do not ship back with results (spans and cost-call statistics
+do).  The parent's metrics therefore count parent-side work only, which
+is the scrape surface that matters for a served tier.
+"""
+
+from __future__ import annotations
+
+from .metrics import LATENCY_BUCKETS, REGISTRY
+
+__all__ = [
+    "SOLVE_LATENCY",
+    "PROBE_LATENCY",
+    "REQUEST_LATENCY",
+    "REQUESTS_TOTAL",
+    "IN_FLIGHT",
+    "HTTP_REQUESTS_TOTAL",
+    "MEMO_LOOKUPS",
+    "MEMO_HITS",
+    "MEMO_MISSES",
+    "MEMO_HIT_RATIO",
+    "BNB_NODES",
+    "BNB_PRUNED",
+    "PLACEMENT_PROBES",
+    "TRACES_EMITTED",
+]
+
+#: Per-machine enumerator solves (an actual search; memo hits excluded).
+SOLVE_LATENCY = REGISTRY.histogram(
+    "repro_solve_latency_seconds",
+    "Wall time of per-machine advisor solves (memo misses only).",
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Placement probes — candidate co-location pricings, memo hits included.
+PROBE_LATENCY = REGISTRY.histogram(
+    "repro_probe_latency_seconds",
+    "Wall time of placement probes (candidate co-location pricings).",
+    buckets=LATENCY_BUCKETS,
+)
+
+#: Service-level request latency, labeled by logical endpoint.
+REQUEST_LATENCY = REGISTRY.histogram(
+    "repro_request_latency_seconds",
+    "Wall time of advisor service requests by endpoint.",
+    buckets=LATENCY_BUCKETS,
+    labelnames=("endpoint",),
+)
+
+REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_requests_total",
+    "Advisor service requests served, by endpoint.",
+    labelnames=("endpoint",),
+)
+
+IN_FLIGHT = REGISTRY.gauge(
+    "repro_in_flight_requests",
+    "Advisor service requests currently executing.",
+)
+
+#: HTTP-layer accounting (status included; 4xx/5xx visible).
+HTTP_REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests handled, by endpoint and status code.",
+    labelnames=("endpoint", "status"),
+)
+
+MEMO_LOOKUPS = REGISTRY.counter(
+    "repro_solve_memo_lookups_total",
+    "Fleet solve-memo lookups, by result.",
+    labelnames=("result",),
+)
+
+#: Pre-bound children: the memo's get() is the hottest instrumented path.
+MEMO_HITS = MEMO_LOOKUPS.labels(result="hit")
+MEMO_MISSES = MEMO_LOOKUPS.labels(result="miss")
+
+MEMO_HIT_RATIO = REGISTRY.gauge(
+    "repro_solve_memo_hit_ratio",
+    "Fraction of fleet solve-memo lookups served from the memo.",
+)
+
+
+def _memo_hit_ratio() -> float:
+    hits = MEMO_HITS.value
+    lookups = hits + MEMO_MISSES.value
+    return hits / lookups if lookups else 0.0
+
+
+MEMO_HIT_RATIO.set_function(_memo_hit_ratio)
+
+BNB_NODES = REGISTRY.counter(
+    "repro_bnb_nodes_total",
+    "Branch-and-bound placement nodes explored.",
+)
+
+BNB_PRUNED = REGISTRY.counter(
+    "repro_bnb_pruned_total",
+    "Branch-and-bound placement nodes pruned by the bound.",
+)
+
+PLACEMENT_PROBES = REGISTRY.counter(
+    "repro_placement_probes_total",
+    "Candidate co-locations priced during placement.",
+)
+
+TRACES_EMITTED = REGISTRY.counter(
+    "repro_traces_emitted_total",
+    "Completed traces emitted to sinks.",
+)

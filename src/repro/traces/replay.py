@@ -59,6 +59,7 @@ from ..fleet.problem import FleetProblem, FleetTenant
 from ..monitoring.metrics import relative_improvement
 from ..monitoring.monitor import CHANGE_MAJOR
 from ..parallel.backends import BackendSpec, SolveTask, SolverBackend, resolve_backend
+from ..telemetry.trace import get_tracer
 from .model import WorkloadTrace
 
 #: Replay policies.
@@ -339,6 +340,20 @@ class TraceReplayer:
 
     def replay(self) -> ReplayReport:
         """Replay every period of the trace and report what happened."""
+        span = get_tracer().span(
+            "replay.trace",
+            trace=self.trace.name,
+            mode="single-machine",
+            policy=self.policy,
+            periods=self.trace.n_periods,
+        )
+        span.__enter__()
+        try:
+            return self._replay()
+        finally:
+            span.__exit__(None, None, None)
+
+    def _replay(self) -> ReplayReport:
         started = time.perf_counter()
         stats_before = self.advisor.cache_stats()
         machine_name = self.builder.machine.name
@@ -391,22 +406,23 @@ class TraceReplayer:
             # are independent evaluations — fan them out on the backend and
             # reassemble in period order.
             def static_period(period: int) -> ReplayPeriod:
-                tenants = self._period_tenants(period)
-                problem = base_problem.with_tenants(tenants)
-                actuals = self.advisor.cost_function(problem, "actual")
-                per_tenant = [
-                    actuals.cost(index, allocation)
-                    for index, allocation in enumerate(static_allocations)
-                ]
-                return build_period(
-                    period,
-                    static_allocations,
-                    {},
-                    {},
-                    {},
-                    dict(zip(names, per_tenant)),
-                    actuals.total_cost(problem.default_allocation()),
-                )
+                with get_tracer().span("replay.period", leaf=True, period=period):
+                    tenants = self._period_tenants(period)
+                    problem = base_problem.with_tenants(tenants)
+                    actuals = self.advisor.cost_function(problem, "actual")
+                    per_tenant = [
+                        actuals.cost(index, allocation)
+                        for index, allocation in enumerate(static_allocations)
+                    ]
+                    return build_period(
+                        period,
+                        static_allocations,
+                        {},
+                        {},
+                        {},
+                        dict(zip(names, per_tenant)),
+                        actuals.total_cost(problem.default_allocation()),
+                    )
 
             tasks = [
                 SolveTask(
@@ -420,22 +436,23 @@ class TraceReplayer:
             # Dynamic policies are a chain: period p's decision is period
             # p+1's starting allocation, so the loop stays sequential.
             for period in range(1, self.trace.n_periods + 1):
-                tenants = self._period_tenants(period)
-                problem = base_problem.with_tenants(tenants)
-                actuals = self.advisor.cost_function(problem, "actual")
-                in_force = manager.current_allocations
-                decision = manager.process_period(tenants)
-                periods.append(
-                    build_period(
-                        period,
-                        in_force,
-                        dict(zip(names, decision.change_classes)),
-                        dict(zip(names, decision.model_actions)),
-                        dict(zip(names, decision.observed_estimated_costs)),
-                        dict(zip(names, decision.observed_actual_costs)),
-                        actuals.total_cost(problem.default_allocation()),
+                with get_tracer().span("replay.period", leaf=True, period=period):
+                    tenants = self._period_tenants(period)
+                    problem = base_problem.with_tenants(tenants)
+                    actuals = self.advisor.cost_function(problem, "actual")
+                    in_force = manager.current_allocations
+                    decision = manager.process_period(tenants)
+                    periods.append(
+                        build_period(
+                            period,
+                            in_force,
+                            dict(zip(names, decision.change_classes)),
+                            dict(zip(names, decision.model_actions)),
+                            dict(zip(names, decision.observed_estimated_costs)),
+                            dict(zip(names, decision.observed_actual_costs)),
+                            actuals.total_cost(problem.default_allocation()),
+                        )
                     )
-                )
         return ReplayReport(
             trace_name=self.trace.name,
             mode="single-machine",
@@ -563,6 +580,20 @@ class FleetTraceReplayer:
     # ------------------------------------------------------------------
     def replay(self) -> ReplayReport:
         """Replay every period of the trace across the fleet."""
+        span = get_tracer().span(
+            "replay.trace",
+            trace=self.trace.name,
+            mode="fleet",
+            policy=self.policy,
+            periods=self.trace.n_periods,
+        )
+        span.__enter__()
+        try:
+            return self._replay()
+        finally:
+            span.__exit__(None, None, None)
+
+    def _replay(self) -> ReplayReport:
         started = time.perf_counter()
         inner = self.fleet_advisor.advisor
         stats_before = inner.cache_stats()
@@ -647,7 +678,13 @@ class FleetTraceReplayer:
                 )
                 for machine_index, indices in ordered_loads
             ]
-            for record in step_backend.run(tasks):
+            # One leaf span per period covers the machine-step fan-out;
+            # an incremental re-placement (below) keeps its own subtree.
+            with get_tracer().span(
+                "replay.period", leaf=True, period=period, machines=len(tasks)
+            ):
+                records = step_backend.run(tasks)
+            for record in records:
                 default_cost += record["default_cost"]
                 change_classes.update(record["change_classes"])
                 model_actions.update(record["model_actions"])

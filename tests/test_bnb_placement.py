@@ -352,11 +352,22 @@ class TestProvenance:
         assert rebuilt.placement_provenance == report.placement_provenance
         assert "placement_provenance" not in report.canonical_dict()
 
+    def test_greedy_strategies_report_minimal_provenance(self, shared_advisor):
+        problem = small_fleet()
+        report = shared_advisor.recommend(problem, placement="greedy-cost")
+        provenance = report.placement_provenance
+        assert provenance is not None
+        assert provenance["strategy"] == "greedy-cost"
+        assert provenance["probes"] > 0
+        assert provenance["wall_time_seconds"] >= 0.0
+        rebuilt = FleetReport.from_json(report.to_json())
+        assert rebuilt.placement_provenance == provenance
+
     def test_strategies_without_search_accounting_report_none(
         self, shared_advisor
     ):
         problem = small_fleet()
-        report = shared_advisor.recommend(problem, placement="greedy-cost")
+        report = shared_advisor.recommend(problem, placement="round-robin")
         assert report.placement_provenance is None
         assert FleetReport.from_json(report.to_json()).placement_provenance is None
 
