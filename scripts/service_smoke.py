@@ -5,9 +5,12 @@ Boots the HTTP serving tier as a real subprocess (ephemeral port), POSTs
 the 12-tenant × 4-machine fleet fixture used across the benchmarks, and
 asserts the served answer is canonically identical to a direct serial
 library solve.  Scrapes ``/metrics`` and checks the request counters and
-latency histogram recorded the solve, then finishes by checking
-``/healthz`` and ``/stats`` and sending SIGTERM, which must produce a
-clean exit.  Run from the repo
+latency histogram recorded the solve, drives a short constant-rate
+open-loop burst through :class:`repro.loadgen.LoadRunner` and checks the
+server-side counters and buckets advanced by it (and that the resulting
+``LoadReport`` carries a populated SLO evaluation), then finishes by
+checking ``/healthz`` and ``/stats`` and sending SIGTERM, which must
+produce a clean exit.  Run from the repo
 root with ``PYTHONPATH=src python scripts/service_smoke.py``; exits 0 on
 success, 1 with a diagnostic on any failure.
 """
@@ -22,11 +25,32 @@ import urllib.request
 from repro.experiments.fleet import build_fleet_problem
 from repro.fleet import FleetAdvisor, FleetProblem
 from repro.fleet.report import FleetReport
+from repro.loadgen import ArrivalSpec, LoadRunner, RequestTemplate, SloSpec
 
 N_TENANTS = 12
 N_MACHINES = 4
 FAST_CALIBRATION = {"cpu_shares": [0.25, 0.5, 0.75, 1.0]}
 READ_TIMEOUT_SECONDS = 120
+
+#: The loadgen burst: ~2 s of constant-rate open-loop traffic.
+BURST_RATE_RPS = 10.0
+BURST_DURATION_SECONDS = 2.0
+
+#: A deliberately loose SLO — the burst asserts the *plumbing* (SLIs
+#: measured, objectives evaluated, scrape correlated), not performance.
+BURST_SLO = SloSpec(p95_seconds=30.0, max_error_rate=0.0)
+
+#: The scenario the burst POSTs to /recommend.
+BURST_SCENARIO = {
+    "name": "smoke-burst",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "advisor": {"delta": 0.25},
+    "tenants": [
+        {"name": "dss", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "scan", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
 
 
 def fleet_document() -> dict:
@@ -117,11 +141,55 @@ def main() -> int:
         )
         print("metrics scrape OK: request counters and latency histogram populated")
 
+        print(f"loadgen burst: {BURST_RATE_RPS} rps constant for "
+              f"{BURST_DURATION_SECONDS} s ...")
+        schedule = ArrivalSpec(
+            shape="constant",
+            rate=BURST_RATE_RPS,
+            duration_seconds=BURST_DURATION_SECONDS,
+            seed=1,
+        ).schedule()
+        report = LoadRunner(
+            base,
+            schedule,
+            [RequestTemplate("recommend", BURST_SCENARIO)],
+            slo=BURST_SLO,
+            workers=4,
+        ).run()
+        assert report.completed == schedule.n_arrivals, report.to_dict()
+        assert report.errors == 0, report.to_dict()
+        assert report.slo is not None and report.slo.ok, report.to_dict()
+        assert report.slo.objectives, "SLO evaluation carried no objectives"
+        assert report.latency["p95_seconds"] is not None, report.latency
+
+        # The server-side counters and buckets must have advanced by the
+        # burst: that is the black-box/white-box join the report carries.
+        delta = report.server["delta"]
+        assert delta["requests_total"].get("recommend") == report.completed, delta
+        window = delta["request_latency"]["recommend"]
+        assert window["count"] == report.completed, window
+        assert window["p95_seconds"] is not None, window
+        metrics = get_text(base + "/metrics")
+        recommend_count = metric_value(
+            metrics, 'repro_request_latency_seconds_count{endpoint="recommend"}'
+        )
+        assert recommend_count == report.completed, (
+            f"expected {report.completed} recommend latency observations, "
+            f"got {recommend_count}"
+        )
+        print(f"loadgen burst OK: {report.completed} requests, "
+              f"client p95={report.latency['p95_seconds']:.4f}s, "
+              f"server p95={window['p95_seconds']:.4f}s")
+
         stats = get(base + "/stats")
-        assert stats["schema_version"] == 2, stats
+        assert stats["schema_version"] == 3, stats
         assert stats["requests"]["fleet"] == 1, stats
+        assert stats["requests"]["recommend"] == report.completed, stats
         assert stats["in_flight"] == 0, stats
         assert stats["telemetry"]["tracing_enabled"] is False, stats
+        summary = stats["latency_summary"]
+        assert summary["recommend"]["count"] == report.completed, summary
+        assert summary["recommend"]["p95_seconds"] is not None, summary
 
         server.send_signal(signal.SIGTERM)
         code = server.wait(timeout=30)

@@ -22,6 +22,13 @@ document and writing the corresponding JSON report to stdout (or a file):
   (:mod:`repro.service`): POST the same three document kinds to
   ``/recommend`` / ``/fleet`` / ``/replay``, GET ``/healthz`` /
   ``/stats``; runs until SIGINT/SIGTERM.
+* ``loadgen`` — drive a running ``serve`` process with an open-loop
+  workload (:mod:`repro.loadgen`): a constant/poisson/ramp shape, an
+  :class:`~repro.loadgen.ArrivalSpec` file, or a
+  :class:`~repro.traces.WorkloadTrace` rendered to arrivals; measures
+  client-side latency SLIs, evaluates an optional SLO, correlates with
+  the server's own ``/metrics`` + ``/stats``, and with ``--sweep`` steps
+  the offered rate until the SLO breaks (a saturation/sizing report).
 
 The ``fleet`` and ``replay`` subcommands accept ``--backend`` /
 ``--jobs`` to fan independent per-machine solves out on a solver-execution
@@ -41,6 +48,9 @@ Examples::
     python -m repro replay trace.json --fleet fleet.json --policy static
     python -m repro fleet fleet.json --profile --trace-out traces.jsonl
     python -m repro serve --port 8008 --jobs 8 --trace
+    python -m repro loadgen --url http://127.0.0.1:8008 --rate 20 --duration 5
+    python -m repro loadgen --url http://127.0.0.1:8008 --trace trace.json --period-duration 1
+    python -m repro loadgen --url http://127.0.0.1:8008 --sweep --p95 0.25 -o sizing.json
 """
 
 from __future__ import annotations
@@ -49,7 +59,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from . import __version__
 from .api import Advisor, Scenario
@@ -276,6 +286,182 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a running server with an open-loop workload",
+        description=(
+            "Generate open-loop load against a live `python -m repro "
+            "serve` process, measure client-side latency SLIs, evaluate "
+            "an optional SLO, and correlate with the server's own "
+            "/metrics and /stats; --sweep steps the offered rate until "
+            "the SLO breaks."
+        ),
+    )
+    loadgen.add_argument(
+        "document",
+        type=Path,
+        nargs="?",
+        default=None,
+        help=(
+            "request document to POST (a Scenario, FleetProblem, or "
+            "replay envelope JSON file; - for stdin); a small built-in "
+            "scenario is used when omitted with --endpoint recommend"
+        ),
+    )
+    loadgen.add_argument(
+        "--url",
+        default="http://127.0.0.1:8008",
+        help="base URL of the running server (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--endpoint",
+        default="recommend",
+        choices=("recommend", "fleet", "replay"),
+        help="endpoint the document is POSTed to (default: recommend)",
+    )
+    shape_source = loadgen.add_mutually_exclusive_group()
+    shape_source.add_argument(
+        "--spec",
+        type=Path,
+        default=None,
+        help="ArrivalSpec JSON file describing the offered-load shape",
+    )
+    shape_source.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help=(
+            "WorkloadTrace JSON file rendered to arrivals "
+            "(see --requests-per-intensity / --period-duration)"
+        ),
+    )
+    loadgen.add_argument(
+        "--shape",
+        default="constant",
+        choices=("constant", "poisson", "ramp"),
+        help="arrival shape when neither --spec nor --trace is given",
+    )
+    loadgen.add_argument(
+        "--rate",
+        type=float,
+        default=10.0,
+        help="offered load, requests/second (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        help="run length in seconds (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--end-rate",
+        type=float,
+        default=None,
+        help="final rate for --shape ramp (default: --rate)",
+    )
+    loadgen.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help=(
+            "schedule seed; the same seed is the same arrivals "
+            "(a sweep's step i runs under seed+i)"
+        ),
+    )
+    loadgen.add_argument(
+        "--requests-per-intensity",
+        type=float,
+        default=1.0,
+        help=(
+            "with --trace: requests per unit of statement frequency "
+            "(default: %(default)s)"
+        ),
+    )
+    loadgen.add_argument(
+        "--period-duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --trace: wall-clock seconds per monitoring period "
+            "(time compression; default: the trace's own period length)"
+        ),
+    )
+    loadgen.add_argument(
+        "--slo",
+        type=Path,
+        default=None,
+        help="SloSpec JSON file with the objectives to evaluate",
+    )
+    loadgen.add_argument(
+        "--p50", type=float, default=None, metavar="SECONDS",
+        help="SLO: client p50 latency ceiling",
+    )
+    loadgen.add_argument(
+        "--p95", type=float, default=None, metavar="SECONDS",
+        help="SLO: client p95 latency ceiling",
+    )
+    loadgen.add_argument(
+        "--p99", type=float, default=None, metavar="SECONDS",
+        help="SLO: client p99 latency ceiling",
+    )
+    loadgen.add_argument(
+        "--max-error-rate", type=float, default=None, metavar="RATE",
+        help="SLO: ceiling on errors/completed (0.0 = none tolerated)",
+    )
+    loadgen.add_argument(
+        "--min-throughput", type=float, default=None, metavar="RPS",
+        help="SLO: floor on achieved successful requests/second",
+    )
+    loadgen.add_argument(
+        "--sweep",
+        action="store_true",
+        help=(
+            "step the offered rate geometrically until the SLO breaks "
+            "and report the saturation point (default SLO: p95 <= 0.5s, "
+            "no errors)"
+        ),
+    )
+    loadgen.add_argument(
+        "--sweep-start-rate", type=float, default=2.0, metavar="RPS",
+        help="first sweep step's offered rate (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--sweep-growth", type=float, default=2.0, metavar="FACTOR",
+        help="multiplicative rate step between sweep steps (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--sweep-steps", type=int, default=6, metavar="N",
+        help="sweep step budget (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--sweep-step-duration", type=float, default=3.0, metavar="SECONDS",
+        help="each sweep step's run length (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="client worker threads (default: %(default)s)",
+    )
+    loadgen.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-request timeout; a timeout counts as an error",
+    )
+    loadgen.add_argument(
+        "--no-scrape",
+        action="store_true",
+        help=(
+            "skip the server-side /metrics + /stats correlation "
+            "(black-box only)"
+        ),
+    )
+    add_telemetry_options(loadgen)
+    add_output_options(loadgen)
+
     return parser
 
 
@@ -375,11 +561,125 @@ def _run_serve(args: argparse.Namespace) -> Optional[str]:
     return None
 
 
+#: The request document ``loadgen`` POSTs when none is given: a small
+#: two-tenant scenario whose repeats hit the service's scenario memo and
+#: cost caches — the warm serving path a capacity probe should measure.
+_LOADGEN_DEFAULT_SCENARIO = {
+    "name": "loadgen-default",
+    "resources": ["cpu"],
+    "calibration": {"cpu_shares": [0.25, 0.5, 0.75, 1.0]},
+    "advisor": {"delta": 0.25},
+    "tenants": [
+        {"name": "dss", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "scan", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+
+def _loadgen_slo(args: argparse.Namespace) -> Optional[Any]:
+    """The SLO the loadgen run evaluates, from --slo or the quick flags."""
+    from .loadgen import SloSpec
+
+    quick = {
+        "p50_seconds": args.p50,
+        "p95_seconds": args.p95,
+        "p99_seconds": args.p99,
+        "max_error_rate": args.max_error_rate,
+        "min_throughput_rps": args.min_throughput,
+    }
+    stated = {key: value for key, value in quick.items() if value is not None}
+    if args.slo is not None:
+        if stated:
+            raise ReproError(
+                "pass either --slo FILE or the quick SLO flags "
+                "(--p50/--p95/--p99/--max-error-rate/--min-throughput), "
+                "not both"
+            )
+        return SloSpec.from_json(_read(args.slo))
+    if stated:
+        return SloSpec(**stated)
+    return None
+
+
+def _run_loadgen(args: argparse.Namespace) -> str:
+    # Imported here: the load generator is needed only by this subcommand.
+    from .loadgen import (
+        ArrivalSpec,
+        LoadRunner,
+        RequestTemplate,
+        saturation_sweep,
+        schedule_from_trace,
+    )
+
+    if args.document is not None:
+        document = json.loads(_read(args.document))
+    elif args.endpoint == "recommend":
+        document = _LOADGEN_DEFAULT_SCENARIO
+    else:
+        raise ReproError(
+            f"--endpoint {args.endpoint} needs a request document "
+            f"(only recommend has a built-in default)"
+        )
+    templates = [RequestTemplate(args.endpoint, document)]
+    slo = _loadgen_slo(args)
+
+    if args.sweep:
+        if args.spec is not None or args.trace is not None:
+            raise ReproError(
+                "--sweep generates its own schedules; it cannot be "
+                "combined with --spec or --trace"
+            )
+        report = saturation_sweep(
+            args.url,
+            templates,
+            slo=slo,
+            start_rate=args.sweep_start_rate,
+            growth=args.sweep_growth,
+            max_steps=args.sweep_steps,
+            step_duration_seconds=args.sweep_step_duration,
+            shape=args.shape,
+            seed=args.seed,
+            workers=args.workers,
+            timeout_seconds=args.timeout,
+            scrape=not args.no_scrape,
+        )
+        return report.to_json(indent=args.indent)
+
+    if args.spec is not None:
+        schedule = ArrivalSpec.from_json(_read(args.spec)).schedule()
+    elif args.trace is not None:
+        schedule = schedule_from_trace(
+            WorkloadTrace.from_json(_read(args.trace)),
+            seed=args.seed,
+            requests_per_intensity=args.requests_per_intensity,
+            period_duration_seconds=args.period_duration,
+        )
+    else:
+        schedule = ArrivalSpec(
+            shape=args.shape,
+            rate=args.rate,
+            duration_seconds=args.duration,
+            end_rate=args.end_rate,
+            seed=args.seed,
+        ).schedule()
+    report = LoadRunner(
+        args.url,
+        schedule,
+        templates,
+        slo=slo,
+        workers=args.workers,
+        timeout_seconds=args.timeout,
+        scrape=not args.no_scrape,
+    ).run()
+    return report.to_json(indent=args.indent)
+
+
 _RUNNERS = {
     "recommend": _run_recommend,
     "fleet": _run_fleet,
     "replay": _run_replay,
     "serve": _run_serve,
+    "loadgen": _run_loadgen,
 }
 
 
@@ -402,10 +702,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_out = getattr(args, "trace_out", None)
     # Telemetry is opt-in per invocation: --version, argparse errors, and
     # untraced runs never touch the tracer.
+    # `serve --trace` is a boolean flag; `loadgen --trace FILE` is a
+    # workload-trace path and must not switch the tracer on.
     tracing = bool(
         trace_out is not None
         or getattr(args, "profile", False)
-        or getattr(args, "trace", False)
+        or getattr(args, "trace", None) is True
     )
     try:
         if tracing:

@@ -54,3 +54,7 @@ class WorkloadError(ReproError):
 
 class TelemetryError(ReproError):
     """A telemetry sink or instrument could not be set up or written."""
+
+
+class LoadGenError(ReproError):
+    """A load-generation run could not be configured or completed."""

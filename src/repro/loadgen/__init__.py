@@ -1,0 +1,64 @@
+"""Open-workload load generation and SLO evaluation for the serving tier.
+
+The serving tier (``python -m repro serve``) exposes the advisor over
+HTTP; this package measures whether that tier *holds up*: an open-loop
+arrival scheduler (:mod:`~repro.loadgen.schedule`) decides up front when
+every request fires, a multi-worker client (:mod:`~repro.loadgen.client`)
+fires them on time regardless of completions, a declarative SLO layer
+(:mod:`~repro.loadgen.slo`) turns the measured SLIs into verdicts, and a
+saturation sweep (:mod:`~repro.loadgen.sweep`) steps the offered load
+until the SLO breaks — the empirical answer to "how big a workload can
+this deployment carry".
+
+Every run correlates the black-box client view with the server's own
+telemetry (:mod:`~repro.loadgen.scrape`): the resulting
+:class:`~repro.loadgen.report.LoadReport` puts a breached p95 next to
+the in-flight peak, the server-side service-time window, and the cache
+traffic that explain it.  The CLI front-end is
+``python -m repro loadgen``.
+"""
+
+from .client import LOADGEN_BUCKETS, LoadRunner, RequestTemplate
+from .report import LoadReport
+from .schedule import (
+    Arrival,
+    ArrivalSchedule,
+    ArrivalSpec,
+    SHAPES,
+    schedule_from_spec,
+    schedule_from_trace,
+)
+from .scrape import (
+    Sample,
+    ServerScrape,
+    parse_prometheus_text,
+    scrape_delta,
+    scrape_server,
+)
+from .slo import SloEvaluation, SloObjective, SloSpec, evaluate_slo
+from .sweep import DEFAULT_SWEEP_SLO, SaturationReport, saturation_sweep
+
+__all__ = [
+    "Arrival",
+    "ArrivalSchedule",
+    "ArrivalSpec",
+    "SHAPES",
+    "schedule_from_spec",
+    "schedule_from_trace",
+    "LoadRunner",
+    "RequestTemplate",
+    "LOADGEN_BUCKETS",
+    "LoadReport",
+    "SloSpec",
+    "SloObjective",
+    "SloEvaluation",
+    "evaluate_slo",
+    "Sample",
+    "ServerScrape",
+    "parse_prometheus_text",
+    "scrape_server",
+    "scrape_delta",
+    "SaturationReport",
+    "saturation_sweep",
+    "DEFAULT_SWEEP_SLO",
+]

@@ -1,0 +1,396 @@
+"""The open-loop HTTP load runner: fire on schedule, measure everything.
+
+:class:`LoadRunner` drives a live ``python -m repro serve`` process with
+an :class:`~repro.loadgen.schedule.ArrivalSchedule`: a dispatcher walks
+the arrivals in time order, sleeps until each is due, and hands it to a
+bounded thread pool — the :mod:`repro.parallel` thread-backend idiom
+(stdlib ``ThreadPoolExecutor``, width = ``workers``) applied to HTTP
+requests instead of solver tasks.  Dispatch never waits for completions:
+if the server (or the pool) falls behind, requests queue, and the
+queueing shows up as latency — measured from the request's *scheduled*
+time — instead of silently lowering the offered load.
+
+Each completed request is recorded twice:
+
+* into the process-wide instruments
+  (:data:`~repro.telemetry.instruments.LOADGEN_REQUESTS_TOTAL` /
+  :data:`~repro.telemetry.instruments.LOADGEN_LATENCY`, labeled by
+  endpoint and status), so a scrape of the *client* process sees its
+  offered traffic; and
+* into a per-run private
+  :class:`~repro.telemetry.metrics.MetricsRegistry`, whose histograms —
+  via :meth:`~repro.telemetry.metrics.Histogram.quantile` — are what the
+  :class:`~repro.loadgen.report.LoadReport` summarizes.  A private
+  registry per run is what lets a saturation sweep report each step's
+  quantiles instead of a lifetime blur.
+
+While the run is in flight, a sampler thread polls the server's
+``/stats`` at a low rate and keeps the in-flight peak — the gauge that
+correlates a breaking client p95 with server-side queue growth.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import LoadGenError
+from ..telemetry.instruments import LOADGEN_LATENCY, LOADGEN_REQUESTS_TOTAL
+from ..telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
+from ..telemetry.trace import get_tracer
+from .report import LoadReport
+from .schedule import ArrivalSchedule
+from .scrape import scrape_delta, scrape_server
+from .slo import SloSpec, evaluate_slo
+
+__all__ = ["RequestTemplate", "LoadRunner", "LOADGEN_BUCKETS"]
+
+#: The POST endpoints a template may target.
+_ENDPOINTS = ("recommend", "fleet", "replay")
+
+#: Client-side latency buckets: the shared solve/request layout extended
+#: upward — a saturated open-loop run sees queueing delays well past the
+#: 10 s the server-side instruments top out at.
+LOADGEN_BUCKETS: Tuple[float, ...] = (*LATENCY_BUCKETS, 30.0, 60.0, 120.0)
+
+#: Default client pool width.
+DEFAULT_WORKERS = 8
+
+#: How often the in-flight sampler polls ``/stats`` during a run.
+_SAMPLE_INTERVAL_SECONDS = 0.2
+
+
+@dataclass(frozen=True)
+class RequestTemplate:
+    """One reusable request body: endpoint plus its JSON document.
+
+    The document is serialized once at construction; every arrival
+    assigned to the template POSTs the same bytes (which is also what
+    makes repeats hit the server's value-keyed caches — the warm path a
+    load test of the *serving tier* should measure).
+    """
+
+    endpoint: str
+    document: Mapping[str, Any]
+
+    def __post_init__(self) -> None:
+        if self.endpoint not in _ENDPOINTS:
+            raise LoadGenError(
+                f"unknown endpoint {self.endpoint!r}; expected one of "
+                f"{', '.join(_ENDPOINTS)}"
+            )
+        object.__setattr__(
+            self, "_body", json.dumps(dict(self.document)).encode("utf-8")
+        )
+
+    @property
+    def body(self) -> bytes:
+        """The serialized POST body."""
+        return self._body  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class _Outcome:
+    """One fired request's measurements."""
+
+    endpoint: str
+    status: str
+    latency_seconds: float
+    send_delay_seconds: float
+
+
+class _InFlightSampler:
+    """Polls ``/stats`` during a run, keeping the in-flight peak."""
+
+    def __init__(self, url: str, timeout: float) -> None:
+        self._url = url.rstrip("/") + "/stats"
+        self._timeout = timeout
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._poll, name="repro-loadgen-sampler", daemon=True
+        )
+        self.peak = 0
+        self.samples = 0
+
+    def _poll(self) -> None:
+        while not self._stop.is_set():
+            try:
+                with urllib.request.urlopen(
+                    self._url, timeout=self._timeout
+                ) as response:
+                    stats = json.loads(response.read())
+                self.peak = max(self.peak, int(stats.get("in_flight", 0)))
+                self.samples += 1
+            except Exception:  # noqa: BLE001 — sampling must never kill a run
+                pass
+            self._stop.wait(_SAMPLE_INTERVAL_SECONDS)
+
+    def __enter__(self) -> "_InFlightSampler":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+
+class LoadRunner:
+    """Drives one schedule against one served advisor and reports SLIs.
+
+    Args:
+        url: base URL of a live server (``http://host:port``).
+        schedule: the arrival schedule to realize.
+        templates: request templates; arrivals are assigned round-robin
+            in schedule order, so the mix is deterministic.
+        slo: optional :class:`~repro.loadgen.slo.SloSpec` to evaluate
+            against the run's measured SLIs.
+        workers: client pool width (bounded concurrency; dispatch beyond
+            it queues and the queueing is measured, not hidden).
+        timeout_seconds: per-request socket timeout; a timeout counts as
+            an error.
+        scrape: whether to take ``/metrics`` + ``/stats`` scrapes around
+            (and sample ``/stats`` during) the run for the report's
+            server-correlation section.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        schedule: ArrivalSchedule,
+        templates: Sequence[RequestTemplate],
+        slo: Optional[SloSpec] = None,
+        workers: int = DEFAULT_WORKERS,
+        timeout_seconds: float = 30.0,
+        scrape: bool = True,
+    ) -> None:
+        if not templates:
+            raise LoadGenError("a load run needs at least one request template")
+        if workers < 1:
+            raise LoadGenError(f"workers must be >= 1, got {workers}")
+        if timeout_seconds <= 0:
+            raise LoadGenError(
+                f"timeout_seconds must be positive, got {timeout_seconds}"
+            )
+        self.url = url.rstrip("/")
+        self.schedule = schedule
+        self.templates = tuple(templates)
+        self.slo = slo
+        self.workers = workers
+        self.timeout_seconds = timeout_seconds
+        self.scrape = scrape
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _fire(self, template: RequestTemplate, due: float) -> _Outcome:
+        sent = time.perf_counter()
+        request = urllib.request.Request(
+            f"{self.url}/{template.endpoint}",
+            data=template.body,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_seconds
+            ) as response:
+                response.read()
+                status = str(response.status)
+        except urllib.error.HTTPError as error:
+            error.read()
+            status = str(error.code)
+        except Exception:  # noqa: BLE001 — transport failures are data here
+            status = "error"
+        done = time.perf_counter()
+        return _Outcome(
+            endpoint=template.endpoint,
+            status=status,
+            latency_seconds=done - due,
+            send_delay_seconds=max(0.0, sent - due),
+        )
+
+    def run(self) -> LoadReport:
+        """Realize the schedule and return the measured report."""
+        before = scrape_server(self.url, self.timeout_seconds) if self.scrape else None
+        with get_tracer().span(
+            "loadgen.run",
+            schedule=self.schedule.name,
+            requests=self.schedule.n_arrivals,
+            workers=self.workers,
+        ):
+            if self.scrape:
+                with _InFlightSampler(self.url, self.timeout_seconds) as sampler:
+                    outcomes, elapsed = self._dispatch()
+                in_flight = {"peak": sampler.peak, "samples": sampler.samples}
+            else:
+                outcomes, elapsed = self._dispatch()
+                in_flight = None
+        after = scrape_server(self.url, self.timeout_seconds) if self.scrape else None
+        return self._report(outcomes, elapsed, before, after, in_flight)
+
+    def _dispatch(self) -> Tuple[List[_Outcome], float]:
+        """Fire every arrival at its scheduled time; never wait to send."""
+        # A short lead keeps the first arrival from starting late while
+        # the pool spins up.
+        start = time.perf_counter() + 0.02
+        futures = []
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-loadgen"
+        ) as pool:
+            for index, arrival in enumerate(self.schedule.arrivals):
+                template = self.templates[index % len(self.templates)]
+                due = start + arrival.time_seconds
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(self._fire, template, due))
+            outcomes = [future.result() for future in futures]
+        return outcomes, time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        outcomes: List[_Outcome],
+        elapsed: float,
+        before: Optional[Any],
+        after: Optional[Any],
+        in_flight: Optional[Dict[str, int]],
+    ) -> LoadReport:
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "loadgen_request_latency_seconds",
+            "Client latency from scheduled arrival to response.",
+            buckets=LOADGEN_BUCKETS,
+            labelnames=("endpoint",),
+        )
+        delays = registry.histogram(
+            "loadgen_send_delay_seconds",
+            "Dispatch delay past the scheduled arrival time.",
+            buckets=LOADGEN_BUCKETS,
+        )
+        overall = registry.histogram(
+            "loadgen_latency_overall_seconds",
+            "Client latency across all endpoints.",
+            buckets=LOADGEN_BUCKETS,
+        )
+        statuses: Dict[str, int] = {}
+        per_endpoint: Dict[str, Dict[str, Any]] = {}
+        errors = 0
+        max_latency = 0.0
+        max_delay = 0.0
+        for outcome in outcomes:
+            ok = outcome.status == "200"
+            errors += 0 if ok else 1
+            statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+            summary = per_endpoint.setdefault(
+                outcome.endpoint, {"requests": 0, "errors": 0}
+            )
+            summary["requests"] += 1
+            summary["errors"] += 0 if ok else 1
+            latency.labels(endpoint=outcome.endpoint).observe(
+                outcome.latency_seconds
+            )
+            overall.observe(outcome.latency_seconds)
+            delays.observe(outcome.send_delay_seconds)
+            max_latency = max(max_latency, outcome.latency_seconds)
+            max_delay = max(max_delay, outcome.send_delay_seconds)
+            # The process-wide instruments see the same traffic.
+            LOADGEN_REQUESTS_TOTAL.labels(
+                endpoint=outcome.endpoint, status=outcome.status
+            ).inc()
+            LOADGEN_LATENCY.labels(
+                endpoint=outcome.endpoint, status=outcome.status
+            ).observe(outcome.latency_seconds)
+
+        completed = len(outcomes)
+        error_rate = errors / completed if completed else 0.0
+        achieved = (completed - errors) / elapsed if elapsed > 0 else 0.0
+        quantiles = {
+            "p50": overall.quantile(0.50),
+            "p95": overall.quantile(0.95),
+            "p99": overall.quantile(0.99),
+        }
+        for endpoint, summary in per_endpoint.items():
+            child = latency.labels(endpoint=endpoint)
+            summary.update(
+                mean_seconds=(
+                    child.sum / child.count if child.count else None
+                ),
+                p50_seconds=child.quantile(0.50),
+                p95_seconds=child.quantile(0.95),
+                p99_seconds=child.quantile(0.99),
+            )
+
+        evaluation = (
+            evaluate_slo(
+                self.slo,
+                quantiles=quantiles,
+                error_rate=error_rate if completed else None,
+                throughput_rps=achieved,
+            )
+            if self.slo is not None
+            else None
+        )
+        server: Optional[Dict[str, Any]] = None
+        if before is not None and after is not None:
+            delta = scrape_delta(before, after)
+            client_mean = overall.sum / overall.count if overall.count else None
+            server_means = [
+                window["mean_seconds"]
+                for window in delta["request_latency"].values()
+            ]
+            server_mean = (
+                sum(server_means) / len(server_means) if server_means else None
+            )
+            server = {
+                "before_stats": before.stats,
+                "after_stats": after.stats,
+                "delta": delta,
+                "in_flight": in_flight,
+                "queueing_seconds": (
+                    max(0.0, client_mean - server_mean)
+                    if client_mean is not None and server_mean is not None
+                    else None
+                ),
+            }
+        return LoadReport(
+            name=self.schedule.name,
+            url=self.url,
+            seed=self.schedule.seed,
+            scheduled_requests=self.schedule.n_arrivals,
+            completed=completed,
+            errors=errors,
+            error_rate=error_rate,
+            duration_seconds=self.schedule.duration_seconds,
+            elapsed_seconds=elapsed,
+            offered_rate_rps=self.schedule.offered_rate,
+            achieved_throughput_rps=achieved,
+            latency={
+                "mean_seconds": (
+                    overall.sum / overall.count if overall.count else None
+                ),
+                "p50_seconds": quantiles["p50"],
+                "p95_seconds": quantiles["p95"],
+                "p99_seconds": quantiles["p99"],
+                "max_seconds": max_latency if completed else None,
+            },
+            send_delay={
+                "mean_seconds": (
+                    delays.sum / delays.count if delays.count else None
+                ),
+                "p95_seconds": delays.quantile(0.95),
+                "max_seconds": max_delay if completed else None,
+            },
+            per_endpoint=per_endpoint,
+            statuses=statuses,
+            workers=self.workers,
+            slo=evaluation,
+            server=server,
+        )

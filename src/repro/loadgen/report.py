@@ -1,0 +1,168 @@
+"""The serializable outcome of one load run: SLIs, SLO verdicts, causes.
+
+A :class:`LoadReport` is to the load generator what
+:class:`~repro.traces.ReplayReport` is to the replayer — one JSON
+round-trippable document carrying everything the run measured:
+
+* the **offered** side (schedule name, request count, offered rate,
+  seed — enough to regenerate the exact arrival schedule),
+* the **observed** client side (completion/error counts, achieved
+  throughput, latency quantiles estimated from the run's own
+  fixed-bucket histograms via
+  :meth:`~repro.telemetry.metrics.Histogram.quantile`, per-endpoint
+  breakdowns, and the dispatch-delay summary that certifies the run
+  actually behaved open-loop),
+* the **SLO verdicts** (:class:`~repro.loadgen.slo.SloEvaluation`), and
+* the **server correlation** — the ``/metrics`` + ``/stats`` scrape
+  deltas from :mod:`repro.loadgen.scrape`, so the same document that
+  says "p95 broke the target" also says what the server was doing
+  (in-flight peak, server-side service time, cache and solve-memo
+  traffic).
+
+Client-side latency is measured from the *scheduled* arrival time, so it
+includes every queue the request crossed — the client pool's and the
+server's.  ``queueing_seconds`` in the server section is the mean gap
+between that client-observed latency and the server's own per-request
+service time, the black-box/white-box join in one number.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from .slo import SloEvaluation
+
+__all__ = ["LoadReport"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Everything one load run measured, JSON round-trippable.
+
+    Attributes:
+        name: the schedule's name (shape or ``trace:<name>``).
+        url: the served advisor the run drove.
+        seed: schedule seed (same seed = same arrival schedule).
+        scheduled_requests: arrivals in the schedule.
+        completed: requests that produced any response (or failed).
+        errors: non-200 responses plus transport failures/timeouts.
+        error_rate: ``errors / completed`` (0.0 when nothing completed).
+        duration_seconds: the scheduled horizon.
+        elapsed_seconds: wall clock from first scheduled arrival to last
+            completion.
+        offered_rate_rps: scheduled arrivals per scheduled second.
+        achieved_throughput_rps: successful responses per elapsed second.
+        latency: client-observed latency summary —
+            ``mean/p50/p95/p99/max`` seconds, measured from scheduled
+            arrival time.
+        send_delay: dispatch-delay summary (actual send minus scheduled
+            time) — open-loop fidelity; grows when the client pool
+            itself saturates.
+        per_endpoint: request/error counts and latency quantiles per
+            logical endpoint.
+        statuses: completed-request counts by status label.
+        workers: client worker-thread count.
+        slo: the SLO evaluation, when a spec was given.
+        server: the white-box correlation (before/after ``/stats``,
+            scrape deltas, in-flight peak), when scraping was on.
+    """
+
+    name: str
+    url: str
+    seed: int
+    scheduled_requests: int
+    completed: int
+    errors: int
+    error_rate: float
+    duration_seconds: float
+    elapsed_seconds: float
+    offered_rate_rps: float
+    achieved_throughput_rps: float
+    latency: Dict[str, Optional[float]]
+    send_delay: Dict[str, Optional[float]]
+    per_endpoint: Dict[str, Dict[str, Any]]
+    statuses: Dict[str, int]
+    workers: int
+    slo: Optional[SloEvaluation] = None
+    server: Optional[Dict[str, Any]] = field(default=None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """Whether the run met its SLO (vacuously true without one)."""
+        return self.slo.ok if self.slo is not None else True
+
+    @property
+    def successes(self) -> int:
+        """Requests answered 200."""
+        return self.completed - self.errors
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The report as a JSON-safe dictionary (round-trips via from_dict)."""
+        return {
+            "name": self.name,
+            "url": self.url,
+            "seed": self.seed,
+            "scheduled_requests": self.scheduled_requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "error_rate": self.error_rate,
+            "duration_seconds": self.duration_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "offered_rate_rps": self.offered_rate_rps,
+            "achieved_throughput_rps": self.achieved_throughput_rps,
+            "latency": dict(self.latency),
+            "send_delay": dict(self.send_delay),
+            "per_endpoint": {
+                endpoint: dict(summary)
+                for endpoint, summary in self.per_endpoint.items()
+            },
+            "statuses": dict(self.statuses),
+            "workers": self.workers,
+            "slo": self.slo.to_dict() if self.slo is not None else None,
+            "server": self.server,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LoadReport":
+        """Rebuild a load report from its dictionary form."""
+        slo = data.get("slo")
+        return cls(
+            name=data["name"],
+            url=data["url"],
+            seed=data["seed"],
+            scheduled_requests=data["scheduled_requests"],
+            completed=data["completed"],
+            errors=data["errors"],
+            error_rate=data["error_rate"],
+            duration_seconds=data["duration_seconds"],
+            elapsed_seconds=data["elapsed_seconds"],
+            offered_rate_rps=data["offered_rate_rps"],
+            achieved_throughput_rps=data["achieved_throughput_rps"],
+            latency=dict(data["latency"]),
+            send_delay=dict(data["send_delay"]),
+            per_endpoint={
+                endpoint: dict(summary)
+                for endpoint, summary in data["per_endpoint"].items()
+            },
+            statuses=dict(data["statuses"]),
+            workers=data["workers"],
+            slo=SloEvaluation.from_dict(slo) if slo is not None else None,
+            server=data.get("server"),
+        )
+
+    @classmethod
+    def from_json(cls, document: Union[str, bytes]) -> "LoadReport":
+        """Rebuild a load report from a JSON document."""
+        return cls.from_dict(json.loads(document))

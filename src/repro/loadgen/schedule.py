@@ -1,0 +1,352 @@
+"""Open-loop arrival schedules: *when* requests fire, decided up front.
+
+A closed-loop load generator (fire, wait for the answer, fire again)
+measures a system that is never allowed to queue — each in-flight
+request throttles the next, so saturation shows up as *lower offered
+load* instead of higher latency.  The serving tier's interesting regime
+is exactly the one closed loops hide: requests keep arriving whether or
+not earlier ones finished.  This module therefore separates *arrival*
+from *execution*: a schedule is computed deterministically up front
+(seeded, JSON-describable), and the runner in :mod:`repro.loadgen.client`
+fires each request at its scheduled time regardless of completions —
+queueing delay becomes an observable instead of a back-pressure artifact.
+
+Two sources produce a schedule:
+
+* :class:`ArrivalSpec` — a declarative offered-load shape: ``constant``
+  (evenly spaced), ``poisson`` (seeded exponential inter-arrivals — the
+  memoryless open-workload baseline), or ``ramp`` (linearly growing rate,
+  realized by thinning an upper-bounding Poisson process).
+* :func:`schedule_from_trace` — a :class:`~repro.traces.WorkloadTrace`
+  replayed as arrivals: each tenant's effective per-period statement
+  frequencies become that many labeled requests inside the period
+  (seeded-uniform placement), optionally time-compressed so an
+  1800-second monitoring period can be driven in seconds.
+
+Everything is deterministic under its seed: the same spec or trace plus
+the same seed is the same schedule, arrival for arrival — which is what
+makes a saturation sweep's steps comparable and a breaking point
+reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from ..traces.model import WorkloadTrace
+
+__all__ = [
+    "Arrival",
+    "ArrivalSpec",
+    "ArrivalSchedule",
+    "SHAPES",
+    "schedule_from_spec",
+    "schedule_from_trace",
+]
+
+#: Offered-load shapes an :class:`ArrivalSpec` can take.
+SHAPE_CONSTANT = "constant"
+SHAPE_POISSON = "poisson"
+SHAPE_RAMP = "ramp"
+SHAPES = (SHAPE_CONSTANT, SHAPE_POISSON, SHAPE_RAMP)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: a time, optionally labeled with its origin.
+
+    Attributes:
+        time_seconds: offset from the start of the run at which the
+            request fires.
+        tenant / statement: the traced tenant and statement this arrival
+            realizes (trace-derived schedules only; ``None`` for
+            spec-derived ones).
+    """
+
+    time_seconds: float
+    tenant: Optional[str] = None
+    statement: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The arrival as a JSON-safe record (an arrival-log line)."""
+        record: Dict[str, Any] = {"time_seconds": self.time_seconds}
+        if self.tenant is not None:
+            record["tenant"] = self.tenant
+        if self.statement is not None:
+            record["statement"] = self.statement
+        return record
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Arrival":
+        """Rebuild an arrival from its record form."""
+        return cls(
+            time_seconds=float(data["time_seconds"]),
+            tenant=data.get("tenant"),
+            statement=data.get("statement"),
+        )
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A declarative offered-load shape, JSON round-trippable.
+
+    Attributes:
+        shape: ``"constant"``, ``"poisson"``, or ``"ramp"``.
+        rate: offered load in requests/second (the starting rate for a
+            ramp).
+        duration_seconds: length of the run.
+        end_rate: the ramp's final rate (ignored by other shapes;
+            defaults to ``rate``).
+        seed: RNG seed for the stochastic shapes; constant spacing does
+            not consume randomness but the seed is still recorded as
+            provenance.
+    """
+
+    shape: str = SHAPE_CONSTANT
+    rate: float = 10.0
+    duration_seconds: float = 10.0
+    end_rate: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shape not in SHAPES:
+            raise ConfigurationError(
+                f"unknown arrival shape {self.shape!r}; expected one of "
+                f"{', '.join(SHAPES)}"
+            )
+        if self.rate <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got {self.rate}"
+            )
+        if self.duration_seconds <= 0:
+            raise ConfigurationError(
+                f"duration_seconds must be positive, got {self.duration_seconds}"
+            )
+        if self.end_rate is not None and self.end_rate <= 0:
+            raise ConfigurationError(
+                f"end_rate must be positive, got {self.end_rate}"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ArrivalSpec":
+        """Build a spec from a plain dictionary."""
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown arrival-spec option(s) {', '.join(map(repr, unknown))}; "
+                f"expected a subset of {', '.join(sorted(known))}"
+            )
+        return cls(
+            shape=data.get("shape", SHAPE_CONSTANT),
+            rate=data.get("rate", 10.0),
+            duration_seconds=data.get("duration_seconds", 10.0),
+            end_rate=data.get("end_rate"),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, document: Union[str, bytes]) -> "ArrivalSpec":
+        """Build a spec from a JSON document."""
+        return cls.from_dict(json.loads(document))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a JSON-safe dictionary (round-trips via from_dict)."""
+        return {
+            "shape": self.shape,
+            "rate": self.rate,
+            "duration_seconds": self.duration_seconds,
+            "end_rate": self.end_rate,
+            "seed": self.seed,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def schedule(self) -> "ArrivalSchedule":
+        """The deterministic schedule this spec describes."""
+        return schedule_from_spec(self)
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A fully materialized request schedule: sorted, seeded, inspectable.
+
+    Attributes:
+        name: where the schedule came from (``"constant"``,
+            ``"trace:diurnal"``, ...), provenance for reports.
+        arrivals: every scheduled request in non-decreasing time order.
+        duration_seconds: the scheduled horizon (arrivals all fall in
+            ``[0, duration_seconds)``).
+        seed: the seed that produced it.
+    """
+
+    name: str
+    arrivals: Tuple[Arrival, ...]
+    duration_seconds: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_seconds <= 0:
+            raise ConfigurationError(
+                f"duration_seconds must be positive, got {self.duration_seconds}"
+            )
+        arrivals = tuple(
+            arrival if isinstance(arrival, Arrival) else Arrival.from_dict(arrival)
+            for arrival in self.arrivals
+        )
+        for earlier, later in zip(arrivals, arrivals[1:]):
+            if later.time_seconds < earlier.time_seconds:
+                raise ConfigurationError(
+                    f"arrivals must be in non-decreasing time order "
+                    f"(got {later.time_seconds} after {earlier.time_seconds})"
+                )
+        for arrival in arrivals:
+            if not 0.0 <= arrival.time_seconds < self.duration_seconds:
+                raise ConfigurationError(
+                    f"arrival at {arrival.time_seconds}s falls outside "
+                    f"[0, {self.duration_seconds})"
+                )
+        object.__setattr__(self, "arrivals", arrivals)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_arrivals(self) -> int:
+        """Number of scheduled requests."""
+        return len(self.arrivals)
+
+    @property
+    def offered_rate(self) -> float:
+        """Average offered load over the horizon, requests/second."""
+        return self.n_arrivals / self.duration_seconds
+
+    def per_period_counts(self, period_seconds: float) -> List[int]:
+        """Realized request counts per ``period_seconds``-long period."""
+        if period_seconds <= 0:
+            raise ConfigurationError(
+                f"period_seconds must be positive, got {period_seconds}"
+            )
+        n_periods = max(1, math.ceil(self.duration_seconds / period_seconds))
+        counts = [0] * n_periods
+        for arrival in self.arrivals:
+            counts[min(n_periods - 1, int(arrival.time_seconds // period_seconds))] += 1
+        return counts
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """The schedule as arrival-log records (one dict per request).
+
+        The inverse direction of
+        :func:`repro.traces.from_arrival_log`: rendering a trace to a
+        schedule and importing the records back recovers the trace's
+        per-period statement frequencies.
+        """
+        return [arrival.to_dict() for arrival in self.arrivals]
+
+
+def schedule_from_spec(spec: ArrivalSpec) -> ArrivalSchedule:
+    """Materialize an :class:`ArrivalSpec` into a deterministic schedule."""
+    duration = spec.duration_seconds
+    times: List[float]
+    if spec.shape == SHAPE_CONSTANT:
+        count = max(1, int(round(spec.rate * duration)))
+        times = [index * duration / count for index in range(count)]
+    elif spec.shape == SHAPE_POISSON:
+        rng = random.Random(spec.seed)
+        times = []
+        now = 0.0
+        while True:
+            now += rng.expovariate(spec.rate)
+            if now >= duration:
+                break
+            times.append(now)
+    else:  # ramp: thinning against the peak rate
+        end_rate = spec.end_rate if spec.end_rate is not None else spec.rate
+        peak = max(spec.rate, end_rate)
+        rng = random.Random(spec.seed)
+        times = []
+        now = 0.0
+        while True:
+            now += rng.expovariate(peak)
+            if now >= duration:
+                break
+            rate_now = spec.rate + (end_rate - spec.rate) * (now / duration)
+            if rng.random() * peak <= rate_now:
+                times.append(now)
+    return ArrivalSchedule(
+        name=spec.shape,
+        arrivals=tuple(Arrival(time_seconds=time) for time in times),
+        duration_seconds=duration,
+        seed=spec.seed,
+    )
+
+
+def schedule_from_trace(
+    trace: WorkloadTrace,
+    seed: int = 0,
+    requests_per_intensity: float = 1.0,
+    period_duration_seconds: Optional[float] = None,
+) -> ArrivalSchedule:
+    """Replay a :class:`~repro.traces.WorkloadTrace` as an open arrival process.
+
+    For every monitoring period, every tenant's *effective* statement mix
+    (base spec scaled by the events in force) is turned into labeled
+    arrivals: statement ``s`` with frequency ``f`` contributes
+    ``round(f * requests_per_intensity)`` requests, placed seeded-uniform
+    inside the period.  Realized per-period counts therefore match the
+    trace's intensities exactly up to rounding — the property the
+    scheduler tests pin down — while *placement* within a period stays
+    random (open-workload burstiness rather than a metronome).
+
+    ``period_duration_seconds`` time-compresses the replay: a trace with
+    1800-second monitoring periods can be driven at, say, one second per
+    period without changing any per-period count (so the offered *rate*
+    scales up by the compression factor).  The default keeps the trace's
+    own period length.
+    """
+    if requests_per_intensity <= 0:
+        raise ConfigurationError(
+            f"requests_per_intensity must be positive, "
+            f"got {requests_per_intensity}"
+        )
+    period_wall = (
+        float(period_duration_seconds)
+        if period_duration_seconds is not None
+        else trace.period_seconds
+    )
+    if period_wall <= 0:
+        raise ConfigurationError(
+            f"period_duration_seconds must be positive, got {period_wall}"
+        )
+    rng = random.Random(seed)
+    arrivals: List[Arrival] = []
+    for period, specs in trace.periods():
+        start = (period - 1) * period_wall
+        for spec in specs:
+            for statement, frequency in spec.statements:
+                count = int(round(frequency * requests_per_intensity))
+                for _ in range(count):
+                    arrivals.append(
+                        Arrival(
+                            time_seconds=start + rng.random() * period_wall,
+                            tenant=spec.name,
+                            statement=statement,
+                        )
+                    )
+    arrivals.sort(key=lambda arrival: arrival.time_seconds)
+    return ArrivalSchedule(
+        name=f"trace:{trace.name}",
+        arrivals=tuple(arrivals),
+        duration_seconds=trace.n_periods * period_wall,
+        seed=seed,
+    )

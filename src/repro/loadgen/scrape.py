@@ -1,0 +1,235 @@
+"""White-box server scrapes: joining ``/metrics`` + ``/stats`` to a load run.
+
+The load generator measures the service from the outside; this module
+reads what the *server* said about the same interval, so a
+:class:`~repro.loadgen.report.LoadReport` can put black-box symptom and
+white-box cause side by side: a climbing client p95 next to the server's
+own request-latency histogram (queueing vs. service time), the in-flight
+gauge, the cost-cache hit rate, and the placement solve-memo traffic.
+
+Scrapes are taken before and after a run (plus a low-rate ``/stats``
+sampler *during* it, for the in-flight peak — a gauge read only at the
+quiet endpoints of a run would never show saturation).  The difference
+of two scrapes is computed here: counter deltas, and server-side latency
+quantiles estimated from the *difference* of the cumulative histogram
+buckets via :func:`repro.telemetry.metrics.quantile_from_buckets` — the
+same estimator the client-side SLIs use, applied to the window the run
+spans.
+
+Parsing covers exactly the subset of the Prometheus text format the
+repo's own :meth:`~repro.telemetry.metrics.MetricsRegistry.render`
+emits; it is a measurement tool, not a general scraper.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import LoadGenError
+from ..telemetry.metrics import quantile_from_buckets
+
+__all__ = [
+    "Sample",
+    "ServerScrape",
+    "parse_prometheus_text",
+    "scrape_server",
+    "scrape_delta",
+]
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: metric name, sorted labels, value."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def label(self, key: str) -> Optional[str]:
+        """The value of one label (``None`` when absent)."""
+        for name, value in self.labels:
+            if name == key:
+                return value
+        return None
+
+
+def parse_prometheus_text(text: str) -> List[Sample]:
+    """Parse exposition text into samples (comment lines skipped)."""
+    samples: List[Sample] = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise LoadGenError(f"unparseable metrics line: {line!r}")
+        labels = tuple(
+            (key, value.replace('\\"', '"').replace("\\\\", "\\"))
+            for key, value in _LABEL_PAIR.findall(match.group("labels") or "")
+        )
+        samples.append(
+            Sample(
+                name=match.group("name"),
+                labels=labels,
+                value=_parse_value(match.group("value")),
+            )
+        )
+    return samples
+
+
+@dataclass(frozen=True)
+class ServerScrape:
+    """One moment's server self-report: parsed ``/metrics`` + raw ``/stats``."""
+
+    samples: Tuple[Sample, ...]
+    stats: Dict[str, Any] = field(default_factory=dict)
+
+    def value(self, name: str, **labels: str) -> Optional[float]:
+        """The value of one sample with exactly-matching labels."""
+        wanted = tuple(sorted(labels.items()))
+        for sample in self.samples:
+            if sample.name == name and tuple(sorted(sample.labels)) == wanted:
+                return sample.value
+        return None
+
+    def values(self, name: str, by: str) -> Dict[str, float]:
+        """All of one family's sample values, keyed by the ``by`` label."""
+        out: Dict[str, float] = {}
+        for sample in self.samples:
+            if sample.name == name:
+                key = sample.label(by)
+                if key is not None:
+                    out[key] = out.get(key, 0.0) + sample.value
+        return out
+
+    def buckets(self, name: str, **labels: str) -> List[Tuple[float, int]]:
+        """Cumulative ``(bound, count)`` pairs of one histogram child."""
+        pairs: List[Tuple[float, int]] = []
+        for sample in self.samples:
+            if sample.name != name + "_bucket":
+                continue
+            if any(sample.label(key) != value for key, value in labels.items()):
+                continue
+            bound = sample.label("le")
+            if bound is None:
+                continue
+            pairs.append((_parse_value(bound), int(sample.value)))
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+
+def _get_json(url: str, timeout: float) -> Dict[str, Any]:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _get_text(url: str, timeout: float) -> str:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read().decode("utf-8")
+
+
+def scrape_server(url: str, timeout: float = 10.0) -> ServerScrape:
+    """GET ``/metrics`` and ``/stats`` from a served advisor."""
+    try:
+        metrics_text = _get_text(url.rstrip("/") + "/metrics", timeout)
+        stats = _get_json(url.rstrip("/") + "/stats", timeout)
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+        raise LoadGenError(f"cannot scrape {url}: {error}") from error
+    return ServerScrape(
+        samples=tuple(parse_prometheus_text(metrics_text)), stats=stats
+    )
+
+
+def _delta_by_label(
+    before: ServerScrape, after: ServerScrape, name: str, by: str
+) -> Dict[str, float]:
+    earlier = before.values(name, by)
+    later = after.values(name, by)
+    return {
+        key: value - earlier.get(key, 0.0)
+        for key, value in sorted(later.items())
+        if value - earlier.get(key, 0.0) != 0.0
+    }
+
+
+def _latency_window(
+    before: ServerScrape, after: ServerScrape, endpoint: str
+) -> Optional[Dict[str, Optional[float]]]:
+    """Server-side request latency for one endpoint over the run window."""
+    name = "repro_request_latency_seconds"
+    count_before = before.value(name + "_count", endpoint=endpoint) or 0.0
+    count_after = after.value(name + "_count", endpoint=endpoint) or 0.0
+    count = count_after - count_before
+    if count <= 0:
+        return None
+    sum_before = before.value(name + "_sum", endpoint=endpoint) or 0.0
+    sum_after = after.value(name + "_sum", endpoint=endpoint) or 0.0
+    bucket_before = dict(before.buckets(name, endpoint=endpoint))
+    window = [
+        (bound, int(counted - bucket_before.get(bound, 0)))
+        for bound, counted in after.buckets(name, endpoint=endpoint)
+    ]
+    return {
+        "count": count,
+        "mean_seconds": (sum_after - sum_before) / count,
+        "p50_seconds": quantile_from_buckets(window, 0.50),
+        "p95_seconds": quantile_from_buckets(window, 0.95),
+        "p99_seconds": quantile_from_buckets(window, 0.99),
+    }
+
+
+def scrape_delta(before: ServerScrape, after: ServerScrape) -> Dict[str, Any]:
+    """What the server recorded between two scrapes, as a JSON-safe dict.
+
+    Counter families are differenced per label; the server's own request
+    latency histogram is differenced bucket-by-bucket and summarized with
+    the shared quantile estimator — this is the *service time + server
+    queueing* the client-side latency is correlated against.
+    """
+    requests = _delta_by_label(
+        before, after, "repro_requests_total", "endpoint"
+    )
+    latency = {
+        endpoint: window
+        for endpoint in sorted(requests)
+        if (window := _latency_window(before, after, endpoint)) is not None
+    }
+    cache_hits = _delta_by_label(
+        before, after, "repro_solve_memo_lookups_total", "result"
+    )
+    stats_before = before.stats.get("cost_cache", {})
+    stats_after = after.stats.get("cost_cache", {})
+    return {
+        "requests_total": requests,
+        "http_requests_total": _delta_by_label(
+            before, after, "repro_http_requests_total", "endpoint"
+        ),
+        "request_latency": latency,
+        "solve_memo_lookups": cache_hits,
+        "cost_cache": {
+            key: stats_after.get(key, 0) - stats_before.get(key, 0)
+            for key in ("evaluations", "cache_hits", "cache_misses")
+            if isinstance(stats_after.get(key), (int, float))
+            and isinstance(stats_before.get(key), (int, float))
+        },
+    }

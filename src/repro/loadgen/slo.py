@@ -1,0 +1,233 @@
+"""Declarative SLOs and their evaluation against measured SLIs.
+
+An :class:`SloSpec` states what "the service holds up" means — latency
+quantile targets, a maximum error rate, a minimum throughput — as data,
+JSON round-trippable like every other problem document in the system.
+:func:`evaluate_slo` turns a spec plus the indicators one load run
+measured into an :class:`SloEvaluation`: one verdict per stated
+objective, each carrying its target *and* the observed value, so a
+report reader (or the saturation sweep deciding whether to push the next
+load step) never has to re-derive why a run passed or failed.
+
+Objectives are opt-in: a spec only evaluates the targets it sets, and a
+target whose indicator could not be measured at all (e.g. a latency
+quantile when every request errored) fails rather than vacuously passes
+— an unmeasurable SLI is an outage, not a success.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SloSpec", "SloObjective", "SloEvaluation", "evaluate_slo"]
+
+#: Objective names, in evaluation order.
+_LATENCY_OBJECTIVES = (
+    ("p50_seconds", 0.50),
+    ("p95_seconds", 0.95),
+    ("p99_seconds", 0.99),
+)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Service-level objectives for one load run, all optional.
+
+    Attributes:
+        p50_seconds / p95_seconds / p99_seconds: client-observed latency
+            quantile ceilings (measured from the *scheduled* arrival
+            time, so queueing counts).
+        max_error_rate: ceiling on ``errors / completed`` (0.0 = no
+            errors tolerated).
+        min_throughput_rps: floor on achieved successful
+            requests/second.
+    """
+
+    p50_seconds: Optional[float] = None
+    p95_seconds: Optional[float] = None
+    p99_seconds: Optional[float] = None
+    max_error_rate: Optional[float] = None
+    min_throughput_rps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("p50_seconds", "p95_seconds", "p99_seconds",
+                     "min_throughput_rps"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"SLO {name} must be positive, got {value}"
+                )
+        if self.max_error_rate is not None and not 0.0 <= self.max_error_rate <= 1.0:
+            raise ConfigurationError(
+                f"SLO max_error_rate must be in [0, 1], got {self.max_error_rate}"
+            )
+
+    @property
+    def empty(self) -> bool:
+        """Whether the spec states no objectives at all."""
+        return all(
+            getattr(self, field) is None for field in self.__dataclass_fields__
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SloSpec":
+        """Build a spec from a plain dictionary."""
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SLO option(s) {', '.join(map(repr, unknown))}; "
+                f"expected a subset of {', '.join(sorted(known))}"
+            )
+        return cls(**{key: data[key] for key in data})
+
+    @classmethod
+    def from_json(cls, document: Union[str, bytes]) -> "SloSpec":
+        """Build a spec from a JSON document."""
+        return cls.from_dict(json.loads(document))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The spec as a JSON-safe dictionary (round-trips via from_dict)."""
+        return {
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "p99_seconds": self.p99_seconds,
+            "max_error_rate": self.max_error_rate,
+            "min_throughput_rps": self.min_throughput_rps,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One evaluated objective: target, observation, verdict.
+
+    ``observed`` is ``None`` when the indicator could not be measured
+    (which counts as a failure — see the module docstring).
+    """
+
+    name: str
+    target: float
+    observed: Optional[float]
+    ok: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The objective as a JSON-safe dictionary."""
+        return {
+            "name": self.name,
+            "target": self.target,
+            "observed": self.observed,
+            "ok": self.ok,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SloObjective":
+        """Rebuild an objective from its dictionary form."""
+        return cls(
+            name=data["name"],
+            target=data["target"],
+            observed=data.get("observed"),
+            ok=data["ok"],
+        )
+
+
+@dataclass(frozen=True)
+class SloEvaluation:
+    """Every stated objective's verdict for one load run."""
+
+    spec: SloSpec
+    objectives: Tuple[SloObjective, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every stated objective held (vacuously true if none)."""
+        return all(objective.ok for objective in self.objectives)
+
+    @property
+    def breached(self) -> Tuple[str, ...]:
+        """Names of the objectives that failed."""
+        return tuple(o.name for o in self.objectives if not o.ok)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The evaluation as a JSON-safe dictionary."""
+        return {
+            "ok": self.ok,
+            "breached": list(self.breached),
+            "spec": self.spec.to_dict(),
+            "objectives": [objective.to_dict() for objective in self.objectives],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SloEvaluation":
+        """Rebuild an evaluation from its dictionary form."""
+        return cls(
+            spec=SloSpec.from_dict(data["spec"]),
+            objectives=tuple(
+                SloObjective.from_dict(objective)
+                for objective in data["objectives"]
+            ),
+        )
+
+
+def evaluate_slo(
+    spec: SloSpec,
+    quantiles: Mapping[str, Optional[float]],
+    error_rate: Optional[float],
+    throughput_rps: Optional[float],
+) -> SloEvaluation:
+    """Evaluate a spec against one run's measured indicators.
+
+    Args:
+        spec: the objectives to check.
+        quantiles: measured client-side latency quantiles keyed ``"p50"``
+            / ``"p95"`` / ``"p99"`` (missing or ``None`` = unmeasured).
+        error_rate: measured ``errors / completed`` (``None`` =
+            unmeasured).
+        throughput_rps: measured successful requests/second.
+    """
+    objectives = []
+    for field, quantile in _LATENCY_OBJECTIVES:
+        target = getattr(spec, field)
+        if target is None:
+            continue
+        observed = quantiles.get(f"p{int(quantile * 100)}")
+        objectives.append(
+            SloObjective(
+                name=field,
+                target=target,
+                observed=observed,
+                ok=observed is not None and observed <= target,
+            )
+        )
+    if spec.max_error_rate is not None:
+        objectives.append(
+            SloObjective(
+                name="max_error_rate",
+                target=spec.max_error_rate,
+                observed=error_rate,
+                ok=error_rate is not None and error_rate <= spec.max_error_rate,
+            )
+        )
+    if spec.min_throughput_rps is not None:
+        objectives.append(
+            SloObjective(
+                name="min_throughput_rps",
+                target=spec.min_throughput_rps,
+                observed=throughput_rps,
+                ok=(
+                    throughput_rps is not None
+                    and throughput_rps >= spec.min_throughput_rps
+                ),
+            )
+        )
+    return SloEvaluation(spec=spec, objectives=tuple(objectives))

@@ -1,0 +1,203 @@
+"""Saturation sweeps: step the offered load until the SLO breaks.
+
+A single load run answers "does the service hold at rate R"; a sizing
+decision needs "what is the largest R it holds at".  :func:`saturation_sweep`
+answers it empirically: run the same shape at a geometrically growing
+offered rate, evaluate the SLO after each step, and stop at the first
+breach.  The result is a :class:`SaturationReport` carrying every step's
+full :class:`~repro.loadgen.report.LoadReport` — so the breaking step's
+client p95 sits next to the server-side scrape that explains it — plus
+the two numbers the sizing question wants:
+
+* ``max_sustainable_rps`` — the achieved throughput of the last step
+  that met the SLO (the service's capacity under this SLO, this
+  workload mix, this deployment), and
+* ``breaking_rate_rps`` — the first offered rate that broke it.
+
+Determinism: step ``i`` uses seed ``base_seed + i``, so a sweep under a
+fixed ``--seed`` schedules the same arrivals every time and the reported
+saturation point is reproducible run to run (up to genuine performance
+variance of the machine under test, which is the thing being measured).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import LoadGenError
+from ..telemetry.trace import get_tracer
+from .client import DEFAULT_WORKERS, LoadRunner, RequestTemplate
+from .report import LoadReport
+from .schedule import ArrivalSpec
+from .slo import SloSpec
+
+__all__ = ["SaturationReport", "saturation_sweep", "DEFAULT_SWEEP_SLO"]
+
+#: The sweep's default bar when the caller states no SLO: half-second
+#: client p95 and no errors — loose enough for the toy advisor, strict
+#: enough that real saturation (queue growth, timeouts) breaks it.
+DEFAULT_SWEEP_SLO = SloSpec(p95_seconds=0.5, max_error_rate=0.0)
+
+
+@dataclass(frozen=True)
+class SaturationReport:
+    """Every step of one sweep plus the sizing verdict, JSON round-trippable.
+
+    Attributes:
+        url: the served advisor swept.
+        slo: the objectives each step was held to.
+        seed: the sweep's base seed (step ``i`` ran under ``seed + i``).
+        steps: each step's full load report, in offered-rate order.
+        saturated: whether the sweep found a breaking step (``False``
+            means every step passed and the service's capacity is at
+            least the last offered rate).
+        max_sustainable_rps: achieved throughput of the last passing
+            step (``None`` when even the first step broke).
+        breaking_rate_rps: offered rate of the first failing step
+            (``None`` when no step failed).
+    """
+
+    url: str
+    slo: SloSpec
+    seed: int
+    steps: Tuple[LoadReport, ...]
+    saturated: bool
+    max_sustainable_rps: Optional[float]
+    breaking_rate_rps: Optional[float]
+
+    @property
+    def breaking_step(self) -> Optional[LoadReport]:
+        """The first step that broke the SLO, when one did."""
+        if not self.saturated:
+            return None
+        return self.steps[-1]
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """The report as a JSON-safe dictionary (round-trips via from_dict)."""
+        return {
+            "url": self.url,
+            "slo": self.slo.to_dict(),
+            "seed": self.seed,
+            "saturated": self.saturated,
+            "max_sustainable_rps": self.max_sustainable_rps,
+            "breaking_rate_rps": self.breaking_rate_rps,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The report as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SaturationReport":
+        """Rebuild a saturation report from its dictionary form."""
+        return cls(
+            url=data["url"],
+            slo=SloSpec.from_dict(data["slo"]),
+            seed=data["seed"],
+            steps=tuple(
+                LoadReport.from_dict(step) for step in data["steps"]
+            ),
+            saturated=data["saturated"],
+            max_sustainable_rps=data.get("max_sustainable_rps"),
+            breaking_rate_rps=data.get("breaking_rate_rps"),
+        )
+
+    @classmethod
+    def from_json(cls, document: Union[str, bytes]) -> "SaturationReport":
+        """Rebuild a saturation report from a JSON document."""
+        return cls.from_dict(json.loads(document))
+
+
+def saturation_sweep(
+    url: str,
+    templates: Sequence[RequestTemplate],
+    slo: Optional[SloSpec] = None,
+    start_rate: float = 2.0,
+    growth: float = 2.0,
+    max_steps: int = 6,
+    step_duration_seconds: float = 3.0,
+    shape: str = "constant",
+    seed: int = 0,
+    workers: int = DEFAULT_WORKERS,
+    timeout_seconds: float = 30.0,
+    scrape: bool = True,
+) -> SaturationReport:
+    """Step offered load geometrically until the SLO breaks (or steps run out).
+
+    Args:
+        url: base URL of a live server.
+        templates: request mix, round-robin per step (same as
+            :class:`~repro.loadgen.client.LoadRunner`).
+        slo: objectives each step must meet; defaults to
+            :data:`DEFAULT_SWEEP_SLO`.  An empty spec is rejected — a
+            sweep with nothing to breach cannot terminate meaningfully.
+        start_rate: first step's offered rate, requests/second.
+        growth: multiplicative rate step (> 1).
+        max_steps: sweep budget; the sweep reports ``saturated=False``
+            when every step passes.
+        step_duration_seconds: horizon of each step's schedule.
+        shape: arrival shape for every step (``constant`` by default;
+            ``poisson`` measures the same capacity under bursty
+            arrivals).
+        seed: base seed; step ``i`` runs under ``seed + i``.
+        workers / timeout_seconds / scrape: forwarded to each step's
+            :class:`~repro.loadgen.client.LoadRunner`.
+    """
+    spec = slo if slo is not None else DEFAULT_SWEEP_SLO
+    if spec.empty:
+        raise LoadGenError(
+            "a saturation sweep needs at least one SLO objective to probe"
+        )
+    if start_rate <= 0:
+        raise LoadGenError(f"start_rate must be positive, got {start_rate}")
+    if growth <= 1.0:
+        raise LoadGenError(f"growth must be > 1, got {growth}")
+    if max_steps < 1:
+        raise LoadGenError(f"max_steps must be >= 1, got {max_steps}")
+
+    steps: List[LoadReport] = []
+    saturated = False
+    max_sustainable: Optional[float] = None
+    breaking_rate: Optional[float] = None
+    with get_tracer().span(
+        "loadgen.sweep", url=url, start_rate=start_rate, max_steps=max_steps
+    ):
+        rate = start_rate
+        for index in range(max_steps):
+            schedule = ArrivalSpec(
+                shape=shape,
+                rate=rate,
+                duration_seconds=step_duration_seconds,
+                seed=seed + index,
+            ).schedule()
+            report = LoadRunner(
+                url,
+                schedule,
+                templates,
+                slo=spec,
+                workers=workers,
+                timeout_seconds=timeout_seconds,
+                scrape=scrape,
+            ).run()
+            steps.append(report)
+            if not report.ok:
+                saturated = True
+                breaking_rate = report.offered_rate_rps
+                break
+            max_sustainable = report.achieved_throughput_rps
+            rate *= growth
+    return SaturationReport(
+        url=url,
+        slo=spec,
+        seed=seed,
+        steps=tuple(steps),
+        saturated=saturated,
+        max_sustainable_rps=max_sustainable,
+        breaking_rate_rps=breaking_rate,
+    )

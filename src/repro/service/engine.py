@@ -58,7 +58,7 @@ _PROBLEM_MEMO_SIZE = 64
 #: Version of the ``/stats`` payload shape.  Bumped whenever a field is
 #: added, renamed, or removed, so clients can dispatch without sniffing
 #: keys; see ``docs/service.md`` for the per-version shapes.
-STATS_SCHEMA_VERSION = 2
+STATS_SCHEMA_VERSION = 3
 
 #: Keys accepted in a ``/replay`` envelope document.
 _REPLAY_KEYS = ("trace", "fleet", "policy")
@@ -474,6 +474,28 @@ class AdvisorService:
         )
         return sum(per_cache, memo_hits)
 
+    def _latency_summary(self) -> Dict[str, Dict[str, Optional[float]]]:
+        """Per-endpoint service-latency SLIs from the request histogram.
+
+        Quantiles are estimated from the process-lifetime cumulative
+        buckets via :meth:`~repro.telemetry.metrics.Histogram.quantile` —
+        the same estimator the load generator applies to its client-side
+        histograms, so the two sides of a load report are comparable.
+        """
+        summary: Dict[str, Dict[str, Optional[float]]] = {}
+        for key, child in REQUEST_LATENCY.children():
+            endpoint = key[0] if key else ""
+            summary[endpoint] = {
+                "count": float(child.count),
+                "mean_seconds": (
+                    child.sum / child.count if child.count else None
+                ),
+                "p50_seconds": child.quantile(0.50),
+                "p95_seconds": child.quantile(0.95),
+                "p99_seconds": child.quantile(0.99),
+            }
+        return summary
+
     def stats(self) -> Dict[str, Any]:
         """The ``/stats`` document: cache traffic, request accounting."""
         cost = self.cache_stats()
@@ -490,6 +512,7 @@ class AdvisorService:
             "requests": requests,
             "cost_cache": {"caches": len(self.caches.snapshot()), **cost.to_dict()},
             "placement_solve_memo": self.fleet_advisor.solve_memo.stats(),
+            "latency_summary": self._latency_summary(),
             "telemetry": {
                 "tracing_enabled": tracer.enabled,
                 "recent_traces": list(tracer.ring.trace_ids()),

@@ -23,6 +23,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     get_registry,
+    quantile_from_buckets,
 )
 from .trace import (
     InMemorySink,
@@ -45,6 +46,7 @@ __all__ = [
     "REGISTRY",
     "LATENCY_BUCKETS",
     "get_registry",
+    "quantile_from_buckets",
     "InMemorySink",
     "JsonlSink",
     "Span",

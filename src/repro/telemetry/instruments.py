@@ -31,6 +31,8 @@ __all__ = [
     "BNB_PRUNED",
     "PLACEMENT_PROBES",
     "TRACES_EMITTED",
+    "LOADGEN_REQUESTS_TOTAL",
+    "LOADGEN_LATENCY",
 ]
 
 #: Per-machine enumerator solves (an actual search; memo hits excluded).
@@ -115,4 +117,22 @@ PLACEMENT_PROBES = REGISTRY.counter(
 TRACES_EMITTED = REGISTRY.counter(
     "repro_traces_emitted_total",
     "Completed traces emitted to sinks.",
+)
+
+#: Black-box load-generator accounting (client side of repro.loadgen).
+#: Statuses are HTTP codes plus "error" for transport failures, so the
+#: label space stays bounded.
+LOADGEN_REQUESTS_TOTAL = REGISTRY.counter(
+    "repro_loadgen_requests_total",
+    "Load-generator requests fired, by endpoint and status.",
+    labelnames=("endpoint", "status"),
+)
+
+#: Client-side latency measured from the *scheduled* arrival time (open
+#: workload: queueing delay anywhere — client pool or server — counts).
+LOADGEN_LATENCY = REGISTRY.histogram(
+    "repro_loadgen_request_latency_seconds",
+    "Client-observed latency from scheduled arrival to response.",
+    buckets=LATENCY_BUCKETS,
+    labelnames=("endpoint", "status"),
 )

@@ -39,6 +39,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "get_registry",
+    "quantile_from_buckets",
     "LATENCY_BUCKETS",
 ]
 
@@ -72,6 +73,46 @@ def _format_value(value: float) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
+
+
+def quantile_from_buckets(
+    cumulative: Sequence[Tuple[float, int]], q: float
+) -> Optional[float]:
+    """Estimate the ``q``-quantile from cumulative ``(bound, count)`` pairs.
+
+    The estimator every latency SLI in the system shares: it works on the
+    exposition-format data — cumulative bucket counts with ascending upper
+    bounds, ``+Inf`` last — so it applies equally to a live
+    :class:`Histogram`, a scraped ``/metrics`` family, or the *difference*
+    of two scrapes (a load step's server-side latency).  Linear
+    interpolation within the bucket that crosses the target rank, with the
+    first bucket anchored at 0 (every instrumented quantity here is
+    non-negative).  A rank landing in the ``+Inf`` bucket clamps to the
+    highest finite bound (the standard Prometheus behaviour), and an empty
+    histogram has no quantiles (``None``).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+    if not cumulative:
+        return None
+    total = cumulative[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    lower_bound = 0.0
+    previous_count = 0
+    for bound, count in cumulative:
+        if count >= rank and count > previous_count:
+            if bound == math.inf:
+                # No finite upper edge to interpolate toward: clamp.
+                return lower_bound
+            in_bucket = count - previous_count
+            fraction = (rank - previous_count) / in_bucket
+            return lower_bound + (bound - lower_bound) * max(0.0, fraction)
+        if bound != math.inf:
+            lower_bound = bound
+        previous_count = count
+    return lower_bound
 
 
 def _escape_label(value: str) -> str:
@@ -216,6 +257,17 @@ class Histogram(_Child):
             cumulative.append((bound, running))
         return cumulative
 
+    def quantile(self, q: float) -> Optional[float]:
+        """The estimated ``q``-quantile of the observations so far.
+
+        Cumulative-bucket linear interpolation via
+        :func:`quantile_from_buckets`; ``None`` while the histogram is
+        empty.  Resolution is bounded by the bucket layout — the estimate
+        is exact only at bucket edges — which is the trade every
+        fixed-bucket SLI makes.
+        """
+        return quantile_from_buckets(self.bucket_counts(), q)
+
     def _samples(self) -> List[Tuple[str, str, float]]:
         family = self._family
         names = family.labelnames
@@ -306,6 +358,9 @@ class _Family:
 
     def bucket_counts(self) -> List[Tuple[float, int]]:
         return self._default_child().bucket_counts()
+
+    def quantile(self, q: float) -> Optional[float]:
+        return self._default_child().quantile(q)
 
     def children(self) -> List[Tuple[Tuple[str, ...], Any]]:
         with self._lock:

@@ -10,6 +10,9 @@ This package makes shifting workloads a first-class input:
 * :mod:`repro.traces.generators` — deterministic synthetic generators
   (``diurnal``, ``ramp``, ``spike``, ``step-shift``, ``tenant-swap``, and
   the paper's §7.10 schedule as ``sec710``).
+* :mod:`repro.traces.arrival_log` — :func:`from_arrival_log`, importing
+  observed timestamped request logs (one record per request, e.g. the
+  records a :class:`repro.loadgen.ArrivalSchedule` renders) as traces.
 * :mod:`repro.traces.replay` — :class:`TraceReplayer` (one machine driven
   through :class:`~repro.core.dynamic.DynamicConfigurationManager`) and
   :class:`FleetTraceReplayer` (per-machine managers plus incremental
@@ -26,6 +29,7 @@ Quick start::
     print(report.to_json(indent=2))
 """
 
+from .arrival_log import IDLE_INTENSITY, from_arrival_log
 from .generators import (
     GENERATORS,
     diurnal_trace,
@@ -49,6 +53,8 @@ from .replay import (
 
 __all__ = [
     "GENERATORS",
+    "IDLE_INTENSITY",
+    "from_arrival_log",
     "POLICIES",
     "POLICY_CONTINUOUS",
     "POLICY_DYNAMIC",

@@ -1,0 +1,208 @@
+"""Importing observed arrival logs as :class:`~repro.traces.WorkloadTrace`\\ s.
+
+The trace generators in :mod:`repro.traces.generators` synthesize
+workloads; this module goes the other way — from *observations*.  An
+arrival log is the rawest record a serving tier produces: one timestamped
+entry per request, optionally labeled with the tenant and statement it
+belonged to (the same record shape
+:meth:`repro.loadgen.ArrivalSchedule.to_records` emits).
+:func:`from_arrival_log` aggregates those records into the advisor's
+native time-varying input: per monitoring period, per tenant, the
+observed statement *counts* become statement *frequencies*, and the
+period-to-period changes become :class:`~repro.traces.TraceEvent`\\ s —
+so a real request log can drive everything a synthetic trace can (replay,
+dynamic management, fleet re-placement, and load generation again).
+
+The transform is the inverse of
+:func:`repro.loadgen.schedule_from_trace` up to its rounding: rendering a
+trace to an arrival schedule and importing the schedule's records back
+recovers the trace's effective per-period frequencies (the round-trip the
+tests pin down).  Periods in which a tenant is silent are kept as
+near-zero intensity (:data:`IDLE_INTENSITY`) rather than dropped — a
+tenant going quiet is workload information, and the trace model requires
+positive intensities and non-empty mixes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError
+from .model import TenantTrace, TraceEvent, WorkloadTrace
+
+__all__ = ["from_arrival_log", "IDLE_INTENSITY"]
+
+#: Intensity assigned to a period in which a tenant produced no arrivals.
+#: The trace model forbids zero (a tenant with no workload would be
+#: unplaceable), so "silent" becomes "base mix at a thousandth".
+IDLE_INTENSITY = 1e-3
+
+#: Statement label for records that carry none.
+_DEFAULT_STATEMENT = "q1"
+
+#: Tenant label for records that carry none.
+_DEFAULT_TENANT = "tenant-1"
+
+RecordLike = Union[Mapping[str, Any], str, bytes]
+
+
+def _parse_record(record: RecordLike, index: int) -> Tuple[float, str, str]:
+    """One log entry -> (time, tenant, statement)."""
+    if isinstance(record, (str, bytes)):
+        try:
+            record = json.loads(record)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(
+                f"arrival-log record {index} is not valid JSON: {error}"
+            ) from error
+    if not isinstance(record, Mapping):
+        raise ConfigurationError(
+            f"arrival-log record {index} must be a mapping or JSON object, "
+            f"got {type(record).__name__}"
+        )
+    if "time_seconds" not in record:
+        raise ConfigurationError(
+            f"arrival-log record {index} is missing the required "
+            f"'time_seconds' key"
+        )
+    try:
+        time_seconds = float(record["time_seconds"])
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(
+            f"arrival-log record {index} has a non-numeric time: "
+            f"{record['time_seconds']!r}"
+        ) from error
+    if time_seconds < 0:
+        raise ConfigurationError(
+            f"arrival-log record {index} has a negative time: {time_seconds}"
+        )
+    tenant = str(record.get("tenant") or _DEFAULT_TENANT)
+    statement = str(record.get("statement") or _DEFAULT_STATEMENT)
+    return time_seconds, tenant, statement
+
+
+def _mix(counts: Mapping[str, int], requests_per_intensity: float) -> Tuple[Tuple[str, float], ...]:
+    return tuple(
+        (statement, counts[statement] / requests_per_intensity)
+        for statement in sorted(counts)
+    )
+
+
+def from_arrival_log(
+    records: Iterable[RecordLike],
+    name: str = "arrival-log",
+    period_seconds: float = 60.0,
+    requests_per_intensity: float = 1.0,
+    tenant_options: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> WorkloadTrace:
+    """Aggregate timestamped request records into a workload trace.
+
+    Args:
+        records: the log — an iterable of mappings (or JSON-line
+            strings), each with ``time_seconds`` and optional ``tenant``
+            / ``statement`` labels; unlabeled records fall into a single
+            default tenant and statement.  Order does not matter.
+        name: the resulting trace's name.
+        period_seconds: monitoring-period length the log is bucketed
+            into (also the resulting trace's ``period_seconds``).
+        requests_per_intensity: how many observed requests equal one
+            unit of statement frequency — the same knob
+            :func:`repro.loadgen.schedule_from_trace` renders with, so
+            a round-trip uses the same value on both sides.
+        tenant_options: optional per-tenant extra
+            :class:`~repro.api.scenario.TenantSpec` fields (``engine``,
+            ``benchmark``, ``scale``, ...) keyed by tenant name; unknown
+            tenants in the mapping are rejected.
+
+    Returns:
+        A :class:`~repro.traces.WorkloadTrace` whose effective per-period
+        statement frequencies equal the observed per-period counts
+        divided by ``requests_per_intensity``.
+    """
+    if period_seconds <= 0:
+        raise ConfigurationError(
+            f"period_seconds must be positive, got {period_seconds}"
+        )
+    if requests_per_intensity <= 0:
+        raise ConfigurationError(
+            f"requests_per_intensity must be positive, "
+            f"got {requests_per_intensity}"
+        )
+
+    # Bucket: tenant -> period index (0-based) -> statement -> count.
+    observed: Dict[str, Dict[int, Dict[str, int]]] = {}
+    last_time = 0.0
+    total = 0
+    for index, record in enumerate(records):
+        time_seconds, tenant, statement = _parse_record(record, index)
+        period = int(time_seconds // period_seconds)
+        by_period = observed.setdefault(tenant, {})
+        by_statement = by_period.setdefault(period, {})
+        by_statement[statement] = by_statement.get(statement, 0) + 1
+        last_time = max(last_time, time_seconds)
+        total += 1
+    if total == 0:
+        raise ConfigurationError("arrival log is empty; nothing to import")
+    n_periods = int(last_time // period_seconds) + 1
+
+    if tenant_options:
+        unknown = sorted(set(tenant_options) - set(observed))
+        if unknown:
+            raise ConfigurationError(
+                f"tenant_options for unknown tenant(s) "
+                f"{', '.join(map(repr, unknown))}; the log mentions "
+                f"{', '.join(map(repr, sorted(observed)))}"
+            )
+
+    tenants: List[TenantTrace] = []
+    for tenant_name in sorted(observed):
+        by_period = observed[tenant_name]
+        first_active = min(by_period)
+        base_mix = _mix(by_period[first_active], requests_per_intensity)
+        spec: Dict[str, Any] = {"name": tenant_name, "statements": base_mix}
+        if tenant_options and tenant_name in tenant_options:
+            spec.update(tenant_options[tenant_name])
+        events: List[TraceEvent] = []
+        # The state in force entering each period; events specify the
+        # complete state, so only changes need an event.
+        current: Optional[Tuple[Tuple[str, float], ...]] = (
+            base_mix if first_active == 0 else None  # None = idle
+        )
+        for period in range(n_periods):
+            counts = by_period.get(period)
+            wanted = (
+                _mix(counts, requests_per_intensity)
+                if counts is not None
+                else None
+            )
+            if wanted == current:
+                continue
+            if period == 0:
+                # Base spec already covers an active period 0; an idle
+                # period 0 needs an explicit idle event at t=0.
+                if wanted is None:
+                    events.append(
+                        TraceEvent(time_seconds=0.0, intensity=IDLE_INTENSITY)
+                    )
+                    current = None
+                continue
+            start = period * period_seconds
+            if wanted is None:
+                events.append(
+                    TraceEvent(time_seconds=start, intensity=IDLE_INTENSITY)
+                )
+            else:
+                events.append(
+                    TraceEvent(time_seconds=start, statements=wanted)
+                )
+            current = wanted
+        tenants.append(TenantTrace(spec=spec, events=tuple(events)))
+
+    return WorkloadTrace(
+        name=name,
+        tenants=tuple(tenants),
+        period_seconds=period_seconds,
+        n_periods=n_periods,
+    )

@@ -273,3 +273,140 @@ class TestErrorHandling:
     def test_unknown_command_exits_via_argparse(self, capsys):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+# ----------------------------------------------------------------------
+# loadgen
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def live_server():
+    """A real served advisor on an ephemeral port, shared by the module."""
+    import threading
+
+    from repro.service import AdvisorHTTPServer, AdvisorService
+
+    service = AdvisorService(backend="thread", jobs=2, delta=0.25)
+    server = AdvisorHTTPServer(("127.0.0.1", 0), service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+class TestLoadgenCommand:
+    def test_default_scenario_run_emits_a_load_report(
+        self, live_server, tmp_path, capsys
+    ):
+        target = tmp_path / "load.json"
+        code, out, err = run(
+            capsys,
+            [
+                "loadgen", "--url", live_server.url,
+                "--rate", "6", "--duration", "1", "--seed", "5",
+                "--p95", "30", "--max-error-rate", "0",
+                "-o", str(target),
+            ],
+        )
+        assert code == 0 and err == ""
+        report = json.loads(target.read_text())
+        assert report["name"] == "constant"
+        assert report["seed"] == 5
+        assert report["completed"] == report["scheduled_requests"] == 6
+        assert report["errors"] == 0
+        assert report["slo"]["ok"] is True
+        assert {o["name"] for o in report["slo"]["objectives"]} == {
+            "p95_seconds", "max_error_rate",
+        }
+        assert report["server"]["delta"]["requests_total"]["recommend"] >= 6
+
+    def test_explicit_document_and_endpoint(self, live_server, tmp_path, capsys):
+        path = write(tmp_path, "fleet.json", FLEET)
+        code, out, err = run(
+            capsys,
+            [
+                "loadgen", path, "--url", live_server.url,
+                "--endpoint", "fleet", "--rate", "2", "--duration", "1",
+                "--no-scrape",
+            ],
+        )
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["errors"] == 0
+        assert set(report["per_endpoint"]) == {"fleet"}
+        assert report["server"] is None
+
+    def test_trace_driven_run(self, live_server, tmp_path, capsys):
+        path = write(tmp_path, "trace.json", TRACE)
+        code, out, err = run(
+            capsys,
+            [
+                "loadgen", "--url", live_server.url,
+                "--trace", path, "--period-duration", "0.5",
+                "--no-scrape",
+            ],
+        )
+        assert code == 0 and err == ""
+        report = json.loads(out)
+        assert report["name"] == "trace:cli-trace"
+        assert report["completed"] == report["scheduled_requests"] > 0
+
+    def test_sweep_reports_a_reproducible_saturation_point(
+        self, live_server, tmp_path, capsys
+    ):
+        argv = [
+            "loadgen", "--url", live_server.url, "--sweep",
+            "--p95", "1e-9",  # unmeetable: saturates on step one
+            "--sweep-start-rate", "3", "--sweep-steps", "2",
+            "--sweep-step-duration", "0.5", "--seed", "17", "--no-scrape",
+        ]
+        code, first_out, err = run(capsys, argv)
+        assert code == 0 and err == ""
+        first = json.loads(first_out)
+        assert first["saturated"] is True
+        # The breaking rate is the first step's realized offered rate
+        # (constant shapes round the request count to an integer).
+        assert first["breaking_rate_rps"] == pytest.approx(
+            first["steps"][0]["offered_rate_rps"]
+        )
+        assert first["steps"][0]["slo"]["ok"] is False
+        assert "p95_seconds" in first["steps"][0]["slo"]["breached"]
+        code, second_out, _ = run(capsys, argv)
+        assert code == 0
+        second = json.loads(second_out)
+        # Same seed: the same arrivals were offered at the same rates.
+        assert second["seed"] == first["seed"]
+        assert second["breaking_rate_rps"] == first["breaking_rate_rps"]
+        assert [s["scheduled_requests"] for s in second["steps"]] == [
+            s["scheduled_requests"] for s in first["steps"]
+        ]
+
+    def test_slo_file_and_quick_flags_conflict(
+        self, live_server, tmp_path, capsys
+    ):
+        slo = write(tmp_path, "slo.json", {"p95_seconds": 1.0})
+        code, _, err = run(
+            capsys,
+            [
+                "loadgen", "--url", live_server.url, "--slo", slo,
+                "--p95", "0.5",
+            ],
+        )
+        assert code == 2 and "error:" in err
+
+    def test_non_recommend_endpoint_requires_a_document(self, capsys):
+        code, _, err = run(
+            capsys, ["loadgen", "--endpoint", "fleet", "--no-scrape"]
+        )
+        assert code == 2 and "error:" in err
+
+    def test_unreachable_server_is_a_clean_error(self, capsys):
+        code, _, err = run(
+            capsys,
+            [
+                "loadgen", "--url", "http://127.0.0.1:9",
+                "--rate", "1", "--duration", "1",
+            ],
+        )
+        assert code == 2 and "error:" in err

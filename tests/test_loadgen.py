@@ -1,0 +1,482 @@
+"""Tests for the open-workload load generator (:mod:`repro.loadgen`).
+
+The scheduler's contract is property-tested with hypothesis: the same
+spec and seed produce the same arrivals, arrivals are non-decreasing and
+inside the horizon, and a trace-driven schedule's per-period counts match
+the trace's intensities up to rounding.  The SLO layer's semantics
+(opt-in objectives, unmeasurable-SLI-is-failure), the Prometheus-subset
+scrape parser, report round-trips, and the runner + saturation sweep are
+checked against an in-process :class:`~repro.service.AdvisorHTTPServer`
+— the same fixture idiom as ``tests/test_service.py``, so the whole
+open-loop pipeline (schedule → fire → measure → evaluate → correlate)
+runs for real without a subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, LoadGenError
+from repro.loadgen import (
+    DEFAULT_SWEEP_SLO,
+    Arrival,
+    ArrivalSchedule,
+    ArrivalSpec,
+    LoadReport,
+    LoadRunner,
+    RequestTemplate,
+    SaturationReport,
+    SloSpec,
+    evaluate_slo,
+    parse_prometheus_text,
+    saturation_sweep,
+    schedule_from_trace,
+)
+from repro.loadgen.scrape import ServerScrape, scrape_delta
+from repro.service import AdvisorHTTPServer, AdvisorService
+from repro.traces import diurnal_trace
+
+FAST_CALIBRATION = {"cpu_shares": [0.25, 0.5, 0.75, 1.0]}
+
+SCENARIO = {
+    "name": "loadgen-scenario",
+    "resources": ["cpu"],
+    "calibration": FAST_CALIBRATION,
+    "advisor": {"delta": 0.25},
+    "tenants": [
+        {"name": "dss", "engine": "db2", "statements": [["q18", 2.0]]},
+        {"name": "scan", "engine": "db2", "statements": [["q21", 1.0]]},
+    ],
+}
+
+
+def make_trace(n_periods: int = 4):
+    return diurnal_trace(
+        tenants=[
+            {"name": "oltp", "statements": [["q18", 4.0], ["q3", 2.0]]},
+            {"name": "olap", "statements": [["q21", 3.0]]},
+        ],
+        n_periods=n_periods,
+        period_seconds=1800.0,
+        cycle_periods=n_periods,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scheduler properties (hypothesis)
+# ----------------------------------------------------------------------
+spec_strategy = st.builds(
+    ArrivalSpec,
+    shape=st.sampled_from(("constant", "poisson", "ramp")),
+    rate=st.floats(min_value=0.5, max_value=200.0),
+    duration_seconds=st.floats(min_value=0.1, max_value=20.0),
+    end_rate=st.one_of(st.none(), st.floats(min_value=0.5, max_value=200.0)),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=spec_strategy)
+def test_schedule_deterministic_under_seed(spec):
+    first = spec.schedule()
+    second = ArrivalSpec.from_json(spec.to_json()).schedule()
+    assert first.arrivals == second.arrivals
+    assert first.seed == spec.seed
+    assert first.name == spec.shape
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=spec_strategy)
+def test_schedule_monotone_and_inside_horizon(spec):
+    schedule = spec.schedule()
+    times = [arrival.time_seconds for arrival in schedule.arrivals]
+    assert times == sorted(times)
+    assert all(0.0 <= time < spec.duration_seconds for time in times)
+    assert schedule.duration_seconds == spec.duration_seconds
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    rate=st.floats(min_value=5.0, max_value=100.0),
+)
+def test_poisson_count_near_expectation(seed, rate):
+    # Mean rate*duration, sd sqrt(mean): 6 sigma keeps flakes out while
+    # still catching an off-by-rate bug.
+    duration = 10.0
+    schedule = ArrivalSpec(
+        shape="poisson", rate=rate, duration_seconds=duration, seed=seed
+    ).schedule()
+    mean = rate * duration
+    assert abs(schedule.n_arrivals - mean) <= 6 * math.sqrt(mean) + 1
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    requests_per_intensity=st.sampled_from((1.0, 2.0, 4.0)),
+)
+def test_trace_schedule_counts_match_intensities(seed, requests_per_intensity):
+    """Per-period counts are exactly the rounded trace frequencies."""
+    trace = make_trace()
+    schedule = schedule_from_trace(
+        trace,
+        seed=seed,
+        requests_per_intensity=requests_per_intensity,
+        period_duration_seconds=1.0,
+    )
+    realized = schedule.per_period_counts(1.0)
+    for period, specs in trace.periods():
+        expected = sum(
+            int(round(frequency * requests_per_intensity))
+            for spec in specs
+            for _statement, frequency in spec.statements
+        )
+        assert realized[period - 1] == expected
+
+
+def test_trace_schedule_is_labeled_and_deterministic():
+    trace = make_trace()
+    first = schedule_from_trace(trace, seed=9, period_duration_seconds=1.0)
+    second = schedule_from_trace(trace, seed=9, period_duration_seconds=1.0)
+    assert first.arrivals == second.arrivals
+    assert first.name == f"trace:{trace.name}"
+    assert all(a.tenant and a.statement for a in first.arrivals)
+    different = schedule_from_trace(trace, seed=10, period_duration_seconds=1.0)
+    assert different.arrivals != first.arrivals  # placement moved ...
+    assert different.n_arrivals == first.n_arrivals  # ... counts did not
+
+
+def test_constant_schedule_is_evenly_spaced():
+    schedule = ArrivalSpec(
+        shape="constant", rate=4.0, duration_seconds=2.0
+    ).schedule()
+    assert schedule.n_arrivals == 8
+    gaps = {
+        round(later.time_seconds - earlier.time_seconds, 9)
+        for earlier, later in zip(schedule.arrivals, schedule.arrivals[1:])
+    }
+    assert gaps == {0.25}
+
+
+def test_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        ArrivalSpec(shape="bursty")
+    with pytest.raises(ConfigurationError):
+        ArrivalSpec(rate=0.0)
+    with pytest.raises(ConfigurationError):
+        ArrivalSchedule(
+            name="bad",
+            arrivals=(Arrival(1.0), Arrival(0.5)),
+            duration_seconds=2.0,
+        )
+    with pytest.raises(ConfigurationError):
+        ArrivalSchedule(
+            name="outside", arrivals=(Arrival(3.0),), duration_seconds=2.0
+        )
+    with pytest.raises(ConfigurationError):
+        ArrivalSpec.from_dict({"shape": "constant", "cadence": 3})
+
+
+# ----------------------------------------------------------------------
+# SLO semantics
+# ----------------------------------------------------------------------
+def test_slo_opt_in_objectives():
+    evaluation = evaluate_slo(
+        SloSpec(p95_seconds=0.5),
+        quantiles={"p50": 0.4, "p95": 0.4, "p99": 2.0},
+        error_rate=1.0,  # not an objective -> not evaluated
+        throughput_rps=0.0,
+    )
+    assert [objective.name for objective in evaluation.objectives] == [
+        "p95_seconds"
+    ]
+    assert evaluation.ok
+
+
+def test_slo_unmeasured_indicator_fails():
+    evaluation = evaluate_slo(
+        SloSpec(p99_seconds=1.0, max_error_rate=0.1),
+        quantiles={"p99": None},
+        error_rate=None,
+        throughput_rps=None,
+    )
+    assert not evaluation.ok
+    assert evaluation.breached == ("p99_seconds", "max_error_rate")
+
+
+def test_slo_breach_and_round_trip():
+    spec = SloSpec(
+        p50_seconds=0.1, max_error_rate=0.0, min_throughput_rps=50.0
+    )
+    evaluation = evaluate_slo(
+        spec, quantiles={"p50": 0.2}, error_rate=0.0, throughput_rps=80.0
+    )
+    assert evaluation.breached == ("p50_seconds",)
+    rebuilt = type(evaluation).from_dict(json.loads(json.dumps(evaluation.to_dict())))
+    assert rebuilt.to_dict() == evaluation.to_dict()
+    assert SloSpec.from_json(spec.to_json()) == spec
+
+
+def test_slo_validation():
+    with pytest.raises(ConfigurationError):
+        SloSpec(p95_seconds=-1.0)
+    with pytest.raises(ConfigurationError):
+        SloSpec(max_error_rate=1.5)
+    with pytest.raises(ConfigurationError):
+        SloSpec.from_dict({"p95": 0.5})  # wrong spelling is rejected
+    assert SloSpec().empty
+
+
+# ----------------------------------------------------------------------
+# Scrape parsing and deltas
+# ----------------------------------------------------------------------
+EXPOSITION = """\
+# HELP repro_requests_total Advisor service requests served, by endpoint.
+# TYPE repro_requests_total counter
+repro_requests_total{endpoint="recommend"} 5
+repro_request_latency_seconds_bucket{endpoint="recommend",le="0.1"} 3
+repro_request_latency_seconds_bucket{endpoint="recommend",le="+Inf"} 5
+repro_request_latency_seconds_sum{endpoint="recommend"} 0.75
+repro_request_latency_seconds_count{endpoint="recommend"} 5
+"""
+
+
+def test_parse_prometheus_text():
+    samples = parse_prometheus_text(EXPOSITION)
+    assert len(samples) == 5
+    scrape = ServerScrape(samples=tuple(samples))
+    assert scrape.value("repro_requests_total", endpoint="recommend") == 5
+    buckets = scrape.buckets(
+        "repro_request_latency_seconds", endpoint="recommend"
+    )
+    assert buckets == [(0.1, 3), (math.inf, 5)]
+    with pytest.raises(LoadGenError):
+        parse_prometheus_text("not a metric line")
+
+
+def test_scrape_delta_windows_latency():
+    before = ServerScrape(samples=tuple(parse_prometheus_text(EXPOSITION)))
+    later = EXPOSITION.replace(
+        'le="0.1"} 3', 'le="0.1"} 9'
+    ).replace(
+        'le="+Inf"} 5', 'le="+Inf"} 15'
+    ).replace(
+        '_sum{endpoint="recommend"} 0.75', '_sum{endpoint="recommend"} 3.75'
+    ).replace(
+        '_count{endpoint="recommend"} 5', '_count{endpoint="recommend"} 15'
+    ).replace(
+        'repro_requests_total{endpoint="recommend"} 5',
+        'repro_requests_total{endpoint="recommend"} 15',
+    )
+    after = ServerScrape(samples=tuple(parse_prometheus_text(later)))
+    delta = scrape_delta(before, after)
+    assert delta["requests_total"] == {"recommend": 10.0}
+    window = delta["request_latency"]["recommend"]
+    assert window["count"] == 10.0
+    assert window["mean_seconds"] == pytest.approx(0.3)
+    # 6 of the 10 window observations landed in the 0.1 bucket.
+    assert window["p50_seconds"] == pytest.approx(0.1 * 5 / 6)
+
+
+# ----------------------------------------------------------------------
+# Templates and reports
+# ----------------------------------------------------------------------
+def test_request_template_validation():
+    with pytest.raises(LoadGenError):
+        RequestTemplate("solve", SCENARIO)
+    template = RequestTemplate("recommend", SCENARIO)
+    assert json.loads(template.body) == SCENARIO
+
+
+def test_load_report_round_trip_without_server_section():
+    report = LoadReport(
+        name="constant",
+        url="http://127.0.0.1:1",
+        seed=3,
+        scheduled_requests=4,
+        completed=4,
+        errors=1,
+        error_rate=0.25,
+        duration_seconds=2.0,
+        elapsed_seconds=2.1,
+        offered_rate_rps=2.0,
+        achieved_throughput_rps=1.43,
+        latency={"p95_seconds": 0.2},
+        send_delay={"p95_seconds": 0.001},
+        per_endpoint={"recommend": {"requests": 4, "errors": 1}},
+        statuses={"200": 3, "error": 1},
+        workers=2,
+        slo=evaluate_slo(
+            SloSpec(max_error_rate=0.0),
+            quantiles={},
+            error_rate=0.25,
+            throughput_rps=1.43,
+        ),
+    )
+    rebuilt = LoadReport.from_json(report.to_json())
+    assert rebuilt.to_dict() == report.to_dict()
+    assert not rebuilt.ok
+    assert rebuilt.successes == 3
+
+
+# ----------------------------------------------------------------------
+# The runner and the sweep, against a live in-process server
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    service = AdvisorService(backend="thread", jobs=2, delta=0.25)
+    http_server = AdvisorHTTPServer(("127.0.0.1", 0), service=service)
+    thread = threading.Thread(target=http_server.serve_forever, daemon=True)
+    thread.start()
+    yield http_server
+    http_server.shutdown()
+    http_server.server_close()
+    thread.join(timeout=5)
+
+
+def test_runner_measures_and_correlates(server):
+    schedule = ArrivalSpec(
+        shape="constant", rate=8.0, duration_seconds=1.5, seed=11
+    ).schedule()
+    report = LoadRunner(
+        server.url,
+        schedule,
+        [RequestTemplate("recommend", SCENARIO)],
+        slo=SloSpec(p95_seconds=30.0, max_error_rate=0.0),
+        workers=4,
+    ).run()
+    assert report.completed == schedule.n_arrivals
+    assert report.errors == 0
+    assert report.statuses == {"200": report.completed}
+    assert report.slo is not None and report.slo.ok
+    assert report.latency["p95_seconds"] is not None
+    assert report.latency["p50_seconds"] <= report.latency["max_seconds"]
+    # Open-loop fidelity: dispatch stayed close to the schedule.
+    assert report.send_delay["max_seconds"] < 1.0
+    # White-box correlation: the server saw exactly this traffic.
+    delta = report.server["delta"]
+    assert delta["requests_total"].get("recommend", 0) >= report.completed
+    assert report.server["in_flight"]["samples"] > 0
+    rebuilt = LoadReport.from_json(report.to_json())
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_runner_counts_bad_documents_as_errors(server):
+    schedule = ArrivalSpec(
+        shape="constant", rate=4.0, duration_seconds=1.0, seed=2
+    ).schedule()
+    report = LoadRunner(
+        server.url,
+        schedule,
+        [RequestTemplate("recommend", {"not": "a scenario"})],
+        slo=SloSpec(max_error_rate=0.0),
+        workers=2,
+        scrape=False,
+    ).run()
+    assert report.completed == schedule.n_arrivals
+    assert report.errors == report.completed
+    assert not report.ok
+    assert report.slo.breached == ("max_error_rate",)
+    assert report.server is None
+
+
+def test_runner_drives_trace_schedules(server):
+    schedule = schedule_from_trace(
+        make_trace(n_periods=2),
+        seed=4,
+        requests_per_intensity=0.5,
+        period_duration_seconds=0.5,
+    )
+    report = LoadRunner(
+        server.url,
+        schedule,
+        [RequestTemplate("recommend", SCENARIO)],
+        workers=4,
+        scrape=False,
+    ).run()
+    assert report.name == "trace:diurnal"
+    assert report.completed == schedule.n_arrivals
+    assert report.ok  # no SLO -> vacuously fine
+
+
+def test_runner_validation(server):
+    schedule = ArrivalSpec(rate=1.0, duration_seconds=1.0).schedule()
+    with pytest.raises(LoadGenError):
+        LoadRunner(server.url, schedule, [])
+    with pytest.raises(LoadGenError):
+        LoadRunner(
+            server.url,
+            schedule,
+            [RequestTemplate("recommend", SCENARIO)],
+            workers=0,
+        )
+
+
+def test_sweep_saturates_under_impossible_slo(server):
+    report = saturation_sweep(
+        server.url,
+        [RequestTemplate("recommend", SCENARIO)],
+        slo=SloSpec(p95_seconds=1e-9),  # nothing can meet this
+        start_rate=2.0,
+        max_steps=3,
+        step_duration_seconds=0.5,
+        seed=21,
+        workers=2,
+        scrape=False,
+    )
+    assert report.saturated
+    assert len(report.steps) == 1  # first step already breaks
+    assert report.max_sustainable_rps is None
+    assert report.breaking_rate_rps == report.steps[0].offered_rate_rps
+    breaking = report.breaking_step
+    assert breaking is not None and not breaking.ok
+    assert breaking.latency["p95_seconds"] > 1e-9
+    rebuilt = SaturationReport.from_json(report.to_json())
+    assert rebuilt.to_dict() == report.to_dict()
+
+
+def test_sweep_passes_under_loose_slo(server):
+    report = saturation_sweep(
+        server.url,
+        [RequestTemplate("recommend", SCENARIO)],
+        slo=SloSpec(p95_seconds=60.0, max_error_rate=0.0),
+        start_rate=2.0,
+        growth=2.0,
+        max_steps=2,
+        step_duration_seconds=0.5,
+        seed=33,
+        workers=4,
+        scrape=False,
+    )
+    assert not report.saturated
+    assert report.breaking_step is None
+    assert len(report.steps) == 2
+    assert report.max_sustainable_rps is not None
+    # Step seeds advance: same base seed -> same step schedules.
+    assert [step.seed for step in report.steps] == [33, 34]
+    # Offered rates grew geometrically.
+    assert report.steps[1].offered_rate_rps == pytest.approx(
+        2.0 * report.steps[0].offered_rate_rps
+    )
+
+
+def test_sweep_validation(server):
+    templates = [RequestTemplate("recommend", SCENARIO)]
+    with pytest.raises(LoadGenError):
+        saturation_sweep(server.url, templates, slo=SloSpec())
+    with pytest.raises(LoadGenError):
+        saturation_sweep(server.url, templates, growth=1.0)
+    with pytest.raises(LoadGenError):
+        saturation_sweep(server.url, templates, start_rate=0.0)
+    assert not DEFAULT_SWEEP_SLO.empty

@@ -21,7 +21,11 @@ from hypothesis import strategies as st
 from repro.exceptions import TelemetryError
 from repro.fleet import FleetAdvisor, FleetProblem
 from repro.telemetry import get_tracer
-from repro.telemetry.metrics import LATENCY_BUCKETS, MetricsRegistry
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
 from repro.telemetry.trace import (
     InMemorySink,
     JsonlSink,
@@ -206,6 +210,80 @@ class TestMetricsConcurrency:
         assert cumulative[-1][1] == len(observations)
         for (bound, count) in cumulative[:-1]:
             assert count == sum(1 for value in observations if value <= bound)
+
+
+# ----------------------------------------------------------------------
+# Histogram quantile estimation
+# ----------------------------------------------------------------------
+class TestQuantiles:
+    def test_quantile_interpolates_within_a_bucket(self):
+        # 100 observations, all inside (0.1, 1.0]: the p50 estimate sits
+        # linearly in the middle of that bucket.
+        cumulative = [(0.1, 0), (1.0, 100), (float("inf"), 100)]
+        assert quantile_from_buckets(cumulative, 0.5) == pytest.approx(0.55)
+        assert quantile_from_buckets(cumulative, 0.0) == pytest.approx(0.1)
+        assert quantile_from_buckets(cumulative, 1.0) == pytest.approx(1.0)
+
+    def test_quantile_clamps_to_highest_finite_bound(self):
+        # Everything overflowed into +Inf: the estimate cannot invent a
+        # value past the layout, so it reports the highest finite bound.
+        cumulative = [(0.1, 0), (1.0, 0), (float("inf"), 10)]
+        assert quantile_from_buckets(cumulative, 0.99) == 1.0
+
+    def test_quantile_empty_and_invalid(self):
+        assert quantile_from_buckets([], 0.5) is None
+        assert quantile_from_buckets([(1.0, 0), (float("inf"), 0)], 0.5) is None
+        with pytest.raises(TelemetryError):
+            quantile_from_buckets([(1.0, 1)], 1.5)
+
+    def test_histogram_and_family_quantile(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "t_quant_seconds", "help", buckets=(0.1, 1.0, 10.0)
+        )
+        for _ in range(90):
+            histogram.observe(0.05)
+        for _ in range(10):
+            histogram.observe(5.0)
+        assert histogram.quantile(0.5) <= 0.1
+        assert 1.0 < histogram.quantile(0.99) <= 10.0
+        labeled = registry.histogram(
+            "t_quant_labeled_seconds", "help", buckets=(0.1, 1.0),
+            labelnames=("endpoint",),
+        )
+        labeled.labels(endpoint="a").observe(0.05)
+        assert labeled.labels(endpoint="a").quantile(0.5) <= 0.1
+        assert labeled.labels(endpoint="b").quantile(0.5) is None
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1,
+            max_size=100,
+        ),
+        st.sampled_from((0.5, 0.9, 0.95, 0.99)),
+    )
+    def test_quantile_brackets_the_exact_order_statistic(self, observations, q):
+        """The estimate lands in the bucket holding the true quantile.
+
+        With rank ``q*n``, the estimator picks the bucket containing the
+        ``ceil(q*n)``-th smallest observation; the interpolated value
+        must stay inside that bucket's bounds.
+        """
+        import math as _math
+
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "t_quant_prop_seconds", "help", buckets=(0.1, 1.0, 10.0, 100.0)
+        )
+        for value in observations:
+            histogram.observe(value)
+        estimate = histogram.quantile(q)
+        k = _math.ceil(q * len(observations))
+        element = sorted(observations)[k - 1]
+        bounds = [0.0, 0.1, 1.0, 10.0, 100.0]
+        bucket = next(i for i in range(1, len(bounds)) if element <= bounds[i])
+        assert bounds[bucket - 1] <= estimate <= bounds[bucket]
 
 
 # ----------------------------------------------------------------------

@@ -14,7 +14,9 @@ from repro.fleet import FleetAdvisor, FleetProblem
 from repro.traces import (
     FleetTraceReplayer,
     GENERATORS,
+    IDLE_INTENSITY,
     ReplayReport,
+    from_arrival_log,
     TenantTrace,
     TraceEvent,
     TraceReplayer,
@@ -478,3 +480,143 @@ class TestIncrementalReplacement:
             fleet_advisor.recommend_incremental(
                 fleet, {"t1": "m1", "t2": "m1"}
             )
+
+
+# ----------------------------------------------------------------------
+# Arrival-log import
+# ----------------------------------------------------------------------
+class TestFromArrivalLog:
+    def test_buckets_counts_into_frequencies(self):
+        records = [
+            # period 1: 3x q18 + 1x q21 for "web", 2x q5 for "batch"
+            {"time_seconds": 1.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 5.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 9.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 4.0, "tenant": "web", "statement": "q21"},
+            {"time_seconds": 2.0, "tenant": "batch", "statement": "q5"},
+            {"time_seconds": 8.0, "tenant": "batch", "statement": "q5"},
+            # period 2: web doubles, batch goes silent
+            {"time_seconds": 12.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 13.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 14.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 15.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 16.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 17.0, "tenant": "web", "statement": "q18"},
+            {"time_seconds": 18.0, "tenant": "web", "statement": "q21"},
+            {"time_seconds": 19.0, "tenant": "web", "statement": "q21"},
+        ]
+        trace = from_arrival_log(records, period_seconds=10.0)
+        assert trace.n_periods == 2
+        assert trace.period_seconds == 10.0
+        assert trace.tenant_names() == ["batch", "web"]
+        web1, web2 = (
+            frequencies(trace.tenant("web").spec_at(trace.period_start(p)))
+            for p in (1, 2)
+        )
+        assert web1 == {"q18": 3.0, "q21": 1.0}
+        assert web2 == {"q18": 6.0, "q21": 2.0}
+        batch2 = frequencies(
+            trace.tenant("batch").spec_at(trace.period_start(2))
+        )
+        # Silent period: base mix at the idle intensity, not dropped.
+        assert batch2 == {"q5": pytest.approx(2.0 * IDLE_INTENSITY)}
+
+    def test_requests_per_intensity_scales_down(self):
+        records = [
+            {"time_seconds": 0.5, "statement": "q18"},
+            {"time_seconds": 0.6, "statement": "q18"},
+            {"time_seconds": 0.7, "statement": "q18"},
+            {"time_seconds": 0.8, "statement": "q18"},
+        ]
+        trace = from_arrival_log(
+            records, period_seconds=1.0, requests_per_intensity=2.0
+        )
+        spec = trace.tenants[0].spec_at(0.0)
+        assert frequencies(spec) == {"q18": 2.0}
+
+    def test_unlabeled_records_fall_into_defaults(self):
+        trace = from_arrival_log(
+            [{"time_seconds": 0.1}, {"time_seconds": 0.2}], period_seconds=1.0
+        )
+        assert trace.tenant_names() == ["tenant-1"]
+        assert frequencies(trace.tenants[0].spec) == {"q1": 2.0}
+
+    def test_json_line_records_and_validation(self):
+        trace = from_arrival_log(
+            ['{"time_seconds": 0.5, "statement": "q3"}'], period_seconds=1.0
+        )
+        assert frequencies(trace.tenants[0].spec) == {"q3": 1.0}
+        with pytest.raises(ConfigurationError):
+            from_arrival_log([], period_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            from_arrival_log([{"tenant": "web"}], period_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            from_arrival_log([{"time_seconds": -1.0}], period_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            from_arrival_log(["not json"], period_seconds=1.0)
+        with pytest.raises(ConfigurationError):
+            from_arrival_log(
+                [{"time_seconds": 0.5}],
+                period_seconds=1.0,
+                tenant_options={"ghost": {"engine": "db2"}},
+            )
+
+    def test_tenant_options_reach_the_specs(self):
+        trace = from_arrival_log(
+            [{"time_seconds": 0.1, "tenant": "web", "statement": "q18"}],
+            period_seconds=1.0,
+            tenant_options={"web": {"engine": "db2", "gain_factor": 2.0}},
+        )
+        spec = trace.tenants[0].spec
+        assert spec.engine == "db2"
+        assert spec.gain_factor == 2.0
+
+    def test_round_trips_a_rendered_trace(self):
+        """trace -> arrival schedule -> records -> trace recovers frequencies."""
+        from repro.loadgen import schedule_from_trace
+
+        original = diurnal_trace(
+            tenants=[SPEC_A, SPEC_B],
+            n_periods=4,
+            period_seconds=1800.0,
+            cycle_periods=4,
+        )
+        schedule = schedule_from_trace(
+            original,
+            seed=13,
+            requests_per_intensity=2.0,
+            period_duration_seconds=1.0,
+        )
+        recovered = from_arrival_log(
+            schedule.to_records(),
+            period_seconds=1.0,
+            requests_per_intensity=2.0,
+        )
+        for period, specs in original.periods():
+            start = (period - 1) * 1.0
+            for spec in specs:
+                want = frequencies(spec)
+                got = frequencies(recovered.tenant(spec.name).spec_at(start))
+                for statement, frequency in want.items():
+                    expected = round(frequency * 2.0) / 2.0
+                    if expected == 0.0:
+                        assert statement not in got
+                    else:
+                        assert got[statement] == pytest.approx(expected)
+
+    def test_imported_trace_replays(self, context):
+        """An arrival-log trace drives the replayer like any generated one."""
+        records = [
+            {"time_seconds": t, "tenant": "web", "statement": "q18"}
+            for t in (100.0, 900.0, 2000.0, 2100.0, 2200.0, 2300.0)
+        ]
+        trace = from_arrival_log(
+            records,
+            period_seconds=1800.0,
+            tenant_options={"web": {"engine": "db2"}},
+        )
+        report = TraceReplayer(
+            trace, advisor=context.advisor, builder=context.builder
+        ).replay()
+        assert report.n_periods == trace.n_periods
+        assert report.cumulative_actual_cost > 0
